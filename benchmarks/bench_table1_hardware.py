@@ -1,0 +1,34 @@
+"""Table I — GPU memory bandwidth vs PCIe bandwidth across generations.
+
+The paper motivates transfer management with the observation that the gap
+between device-memory bandwidth and host-GPU interconnect bandwidth has
+stayed around 45-50x from the P100 to the H100.  This benchmark prints
+the same table from the hardware presets the simulator uses.
+"""
+
+from conftest import run_once
+
+from repro.metrics.tables import format_table
+from repro.sim.config import GPU_PRESETS
+
+
+def test_table1_bandwidth_gap(benchmark, report_writer):
+    def experiment():
+        rows = []
+        for name in ("P100", "V100", "A100", "H100", "GTX-1080", "GTX-2080Ti"):
+            preset = GPU_PRESETS[name]
+            rows.append(
+                {
+                    "GPU": name,
+                    "Mem. bdw (GB/s)": round(preset.gpu_memory_bandwidth / 1e9, 1),
+                    "PCIe bdw (GB/s)": round(preset.pcie_bandwidth / 1e9, 1),
+                    "Mem/PCIe ratio": round(preset.memory_bandwidth_ratio, 1),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    report_writer("table1_hardware", format_table(rows, title="Table I: GPU memory vs PCIe bandwidth"))
+    ratios = [row["Mem/PCIe ratio"] for row in rows[:4]]
+    # The paper's point: the gap never narrows below ~45x for the data-center parts.
+    assert min(ratios) > 30

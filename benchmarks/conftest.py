@@ -1,0 +1,57 @@
+"""Shared infrastructure for the benchmark (table/figure regeneration) suite.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+relevant systems on the scaled-down stand-in workloads, prints the rows /
+series the paper reports, and writes the same text to
+``benchmarks/results/<experiment>.txt`` so the numbers survive the pytest
+output capture.  Timing is wall-clock of the whole experiment via
+pytest-benchmark (one round — the interesting numbers are the simulated
+times inside the report, not the harness runtime).
+
+The workload scale can be adjusted with the ``REPRO_BENCH_SCALE``
+environment variable (default 0.5: roughly half the stand-in sizes
+declared in :mod:`repro.graph.datasets`, which keeps the full suite to a
+few minutes).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make the in-repo sources importable even without an installed package.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Graph scale factor used by every benchmark workload."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Callable that records an experiment's text report."""
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> str:
+        path = RESULTS_DIR / ("%s.txt" % name)
+        path.write_text(text, encoding="utf-8")
+        # Also echo to stdout so `pytest -s` shows the tables inline.
+        print("\n" + text)
+        return str(path)
+
+    return write
+
+
+def run_once(benchmark, experiment):
+    """Run ``experiment`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(experiment, rounds=1, iterations=1)

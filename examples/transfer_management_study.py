@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's motivating study on your own workload.
+
+Section III of the paper analyses *why* no single transfer-management
+approach wins: the best engine depends on how the active vertices evolve.
+This example runs that analysis end to end for a single-source shortest
+path computation on a friendster-like social graph:
+
+1. trace the frontier evolution (active vertices / edges per iteration),
+2. ask HyTGraph's cost model which engine it would pick per partition in
+   every iteration (the Figure 7 "execution path"),
+3. compare the per-iteration simulated runtime of the four pure
+   approaches against the hybrid (Figure 3 g/h style),
+4. print the crossover points — the iterations where the preferred
+   engine changes.
+
+Run it with:  python examples/transfer_management_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import make_algorithm
+from repro.bench.workloads import build_workload
+from repro.metrics.tables import format_table
+from repro.transfer.base import EngineKind
+
+
+def main() -> None:
+    workload = build_workload("FK", "sssp", scale=0.6)
+    graph = workload.graph
+    print("Workload: SSSP on a friendster-like graph (%d vertices, %d edges), source=%d" % (
+        graph.num_vertices, graph.num_edges, workload.source))
+
+    # ------------------------------------------------------------------
+    # 1 + 2.  Run HyTGraph and read its execution path.
+    # ------------------------------------------------------------------
+    hytgraph = workload.run("hytgraph")
+    print("\nHyTGraph execution path (which engine the cost model picked):")
+    rows = []
+    for stats, mix in zip(hytgraph.iterations, hytgraph.engine_mix()):
+        rows.append({
+            "iter": stats.index,
+            "active vertices": stats.active_vertices,
+            "active edges": stats.active_edges,
+            "% ExpTM-F": round(100 * mix.get(EngineKind.EXP_FILTER.value, 0.0)),
+            "% ExpTM-C": round(100 * mix.get(EngineKind.EXP_COMPACTION.value, 0.0)),
+            "% ImpTM-ZC": round(100 * mix.get(EngineKind.IMP_ZERO_COPY.value, 0.0)),
+        })
+    print(format_table(rows))
+
+    # ------------------------------------------------------------------
+    # 3.  Per-iteration runtime of the pure approaches vs the hybrid.
+    # ------------------------------------------------------------------
+    competitors = {
+        "ExpTM-F": workload.run("exptm-f"),
+        "ExpTM-C (Subway)": workload.run("subway"),
+        "ImpTM-ZC (EMOGI)": workload.run("emogi"),
+        "ImpTM-UM": workload.run("imptm-um"),
+        "HyTGraph": hytgraph,
+    }
+    print("Per-iteration simulated runtime (ms):")
+    length = max(result.num_iterations for result in competitors.values())
+    rows = []
+    for index in range(length):
+        row = {"iter": index}
+        for name, result in competitors.items():
+            times = result.per_iteration_times()
+            row[name] = round(times[index] * 1e3, 4) if index < len(times) else ""
+        rows.append(row)
+    print(format_table(rows))
+
+    # ------------------------------------------------------------------
+    # 4.  Who wins each iteration, and overall.
+    # ------------------------------------------------------------------
+    pure = {name: result for name, result in competitors.items() if name != "HyTGraph"}
+    prefer = []
+    for index in range(length):
+        candidates = {
+            name: result.per_iteration_times()[index]
+            for name, result in pure.items()
+            if index < result.num_iterations
+        }
+        prefer.append(min(candidates, key=candidates.get))
+    crossovers = [index for index in range(1, len(prefer)) if prefer[index] != prefer[index - 1]]
+    print("Preferred pure engine per iteration: %s" % " -> ".join(prefer))
+    print("Crossover iterations (where the best pure engine changes): %s" % crossovers)
+
+    print("\nOverall simulated runtime:")
+    summary = [{"system": name, "time (ms)": round(result.total_time * 1e3, 3),
+                "transfer (xE)": round(result.total_transfer_bytes / graph.edge_data_bytes, 2)}
+               for name, result in competitors.items()]
+    print(format_table(sorted(summary, key=lambda row: row["time (ms)"])))
+    best_pure = min(result.total_time for name, result in pure.items())
+    print("HyTGraph vs best pure approach: %.2fx" % (best_pure / hytgraph.total_time))
+
+
+if __name__ == "__main__":
+    main()

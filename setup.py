@@ -1,0 +1,11 @@
+"""Thin setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file only
+exists so that ``python setup.py develop`` works in offline environments
+where the ``wheel`` package (required by PEP 660 editable installs) is not
+available.
+"""
+
+from setuptools import setup
+
+setup()

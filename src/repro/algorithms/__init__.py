@@ -1,0 +1,51 @@
+"""Vertex-centric graph algorithms.
+
+The paper evaluates four algorithms (Section VII-A): the traversal
+algorithms SSSP, BFS and CC (value-replacement, min-combine) and the
+iterative algorithm PageRank (value accumulation, sum-combine).  The
+Δ-driven priority scheduling section additionally mentions PHP, which is
+included as well.
+
+All programs implement the push-based vertex-centric API of
+:class:`repro.algorithms.base.VertexProgram`; the same program object runs
+unchanged on every simulated system, so cross-system comparisons always
+compute identical answers.
+"""
+
+from repro.algorithms.base import VertexProgram, ProgramState
+from repro.algorithms.sssp import SSSP
+from repro.algorithms.bfs import BFS
+from repro.algorithms.cc import ConnectedComponents
+from repro.algorithms.pagerank import DeltaPageRank
+from repro.algorithms.php import PHP
+from repro.algorithms import reference
+
+__all__ = [
+    "VertexProgram",
+    "ProgramState",
+    "SSSP",
+    "BFS",
+    "ConnectedComponents",
+    "DeltaPageRank",
+    "PHP",
+    "reference",
+    "ALGORITHMS",
+    "make_algorithm",
+]
+
+ALGORITHMS = {
+    "sssp": SSSP,
+    "bfs": BFS,
+    "cc": ConnectedComponents,
+    "pagerank": DeltaPageRank,
+    "pr": DeltaPageRank,
+    "php": PHP,
+}
+
+
+def make_algorithm(name: str, **kwargs) -> VertexProgram:
+    """Instantiate an algorithm by its short name (``"sssp"``, ``"pr"``, ...)."""
+    key = name.lower()
+    if key not in ALGORITHMS:
+        raise KeyError("unknown algorithm %r; available: %s" % (name, ", ".join(sorted(ALGORITHMS))))
+    return ALGORITHMS[key](**kwargs)

@@ -1,0 +1,151 @@
+"""Command-line interface.
+
+Three subcommands cover the workflows a user of the original HyTGraph
+binaries would expect:
+
+``repro-graph info``      — describe a dataset stand-in (Table IV style row);
+``repro-graph run``       — run one algorithm on one dataset with one system;
+``repro-graph compare``   — run one workload on several systems side by side.
+
+Examples
+--------
+::
+
+    repro-graph info --dataset FK
+    repro-graph run --dataset SK --algorithm sssp --system hytgraph --scale 0.5
+    repro-graph compare --dataset UK --algorithm pagerank --systems subway emogi hytgraph
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.algorithms import ALGORITHMS
+from repro.bench.workloads import build_workload
+from repro.graph.datasets import dataset_names, load_dataset
+from repro.graph.properties import summarize
+from repro.metrics.tables import format_table
+from repro.systems import SYSTEMS
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_COMPARE_SYSTEMS = ["exptm-f", "imptm-um", "grus", "subway", "emogi", "hytgraph"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``repro-graph`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-graph",
+        description="HyTGraph reproduction: simulated GPU-accelerated graph processing",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    info = subparsers.add_parser("info", help="describe a dataset stand-in")
+    info.add_argument("--dataset", default="SK", help="dataset name (SK, TW, FK, UK, FS)")
+    info.add_argument("--scale", type=float, default=1.0, help="stand-in scale factor")
+
+    run = subparsers.add_parser("run", help="run one algorithm on one system")
+    run.add_argument("--dataset", default="SK")
+    run.add_argument("--algorithm", default="sssp", choices=sorted(ALGORITHMS))
+    run.add_argument("--system", default="hytgraph", choices=sorted(SYSTEMS))
+    run.add_argument("--scale", type=float, default=0.5)
+    run.add_argument("--gpu", default=None, help="GPU preset name (e.g. GTX-1080, P100)")
+    run.add_argument("--iterations", action="store_true", help="print the per-iteration table")
+
+    compare = subparsers.add_parser("compare", help="run one workload on several systems")
+    compare.add_argument("--dataset", default="SK")
+    compare.add_argument("--algorithm", default="pagerank", choices=sorted(ALGORITHMS))
+    compare.add_argument("--systems", nargs="+", default=DEFAULT_COMPARE_SYSTEMS,
+                         choices=sorted(SYSTEMS))
+    compare.add_argument("--scale", type=float, default=0.5)
+    compare.add_argument("--gpu", default=None, help="GPU preset name")
+    return parser
+
+
+def _cmd_info(args: argparse.Namespace) -> str:
+    rows = []
+    names = [args.dataset] if args.dataset != "all" else dataset_names()
+    for name in names:
+        graph = load_dataset(name, scale=args.scale)
+        rows.append(summarize(graph).as_row())
+    return format_table(rows, title="Dataset stand-ins (scale=%g)" % args.scale)
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    workload = build_workload(args.dataset, args.algorithm, scale=args.scale, preset=args.gpu)
+    result = workload.run(args.system)
+    lines = [
+        "%s / %s on %s (%d vertices, %d edges)" % (
+            result.system, result.algorithm, args.dataset,
+            workload.graph.num_vertices, workload.graph.num_edges,
+        ),
+        "simulated time: %.6f s over %d iterations (converged=%s)" % (
+            result.total_time, result.num_iterations, result.converged,
+        ),
+        "transfer volume: %.3f MB (%.2fx the edge data)" % (
+            result.total_transfer_bytes / 1e6,
+            result.transfer_ratio(workload.graph.edge_data_bytes),
+        ),
+        "busy time: compaction %.6f s, PCIe %.6f s, GPU %.6f s" % (
+            result.total_compaction_time, result.total_transfer_time, result.total_kernel_time,
+        ),
+    ]
+    text = "\n".join(lines) + "\n"
+    if args.iterations:
+        rows = [
+            {
+                "iter": stats.index,
+                "active_vertices": stats.active_vertices,
+                "active_edges": stats.active_edges,
+                "time": stats.time,
+                "transfer_KB": round(stats.transfer_bytes / 1024, 2),
+                "engines": ",".join(sorted(stats.engine_partitions)),
+            }
+            for stats in result.iterations
+        ]
+        text += format_table(rows, title="Per-iteration detail")
+    return text
+
+
+def _cmd_compare(args: argparse.Namespace) -> str:
+    workload = build_workload(args.dataset, args.algorithm, scale=args.scale, preset=args.gpu)
+    rows = []
+    for system_name in args.systems:
+        result = workload.run(system_name)
+        rows.append(
+            {
+                "system": result.system,
+                "time (s)": result.total_time,
+                "iterations": result.num_iterations,
+                "transfer (xE)": round(result.transfer_ratio(workload.graph.edge_data_bytes), 2),
+            }
+        )
+    rows.sort(key=lambda row: row["time (s)"])
+    fastest = rows[0]["time (s)"]
+    for row in rows:
+        row["slowdown"] = round(row["time (s)"] / fastest, 2)
+    return format_table(
+        rows,
+        title="%s on %s (scale=%g, %s)" % (
+            args.algorithm.upper(), args.dataset, args.scale, workload.config.name,
+        ),
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "info":
+        output = _cmd_info(args)
+    elif args.command == "run":
+        output = _cmd_run(args)
+    else:
+        output = _cmd_compare(args)
+    print(output, end="")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    raise SystemExit(main())

@@ -1,0 +1,153 @@
+"""Task combination (Section V-B, Algorithm 1 lines 15-24).
+
+HyTGraph decouples *graph partitioning* (small 32 MB partitions so the
+cost analysis is fine grained) from *task scheduling* (large tasks so the
+per-kernel-launch and per-transfer overheads stay negligible):
+
+* consecutive partitions that selected **ExpTM-filter** are merged into
+  tasks of at most ``k`` partitions (k = 4 in the paper);
+* every partition that selected **ExpTM-compaction** contributes its
+  active vertices to one single compaction task whose packed output is
+  shipped with one explicit copy;
+* every partition that selected **ImpTM-zero-copy** contributes its
+  active vertices to one single zero-copy kernel, which lets the implicit
+  transfer overlap one big kernel instead of many tiny ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.selection import SelectionResult
+from repro.graph.partition import Partitioning
+from repro.transfer.base import EngineKind
+
+__all__ = ["ScheduledTask", "TaskCombiner"]
+
+DEFAULT_COMBINE_FACTOR = 4
+
+
+@dataclass
+class ScheduledTask:
+    """One unit of work handed to the asynchronous task scheduler.
+
+    Attributes
+    ----------
+    engine:
+        The transfer engine all member partitions selected.
+    partition_indices:
+        The partitions merged into this task (consecutive for filter
+        tasks; arbitrary for the combined compaction / zero-copy tasks).
+    active_vertices:
+        Active vertex ids covered by the task, in ascending order.
+    priority:
+        Scheduling priority (lower runs earlier); filled in by the
+        contribution-driven scheduler.
+    """
+
+    engine: EngineKind
+    partition_indices: list[int]
+    active_vertices: np.ndarray
+    priority: float = 0.0
+    label: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            self.label = "%s[%s]" % (
+                self.engine.value,
+                ",".join(str(index) for index in self.partition_indices),
+            )
+
+    @property
+    def num_active_vertices(self) -> int:
+        """Number of active vertices the task processes."""
+        return int(self.active_vertices.size)
+
+
+class TaskCombiner:
+    """Merges per-partition engine selections into scheduler tasks."""
+
+    def __init__(self, combine_factor: int = DEFAULT_COMBINE_FACTOR, enabled: bool = True):
+        if combine_factor <= 0:
+            raise ValueError("combine_factor must be positive")
+        self.combine_factor = combine_factor
+        #: When disabled every partition becomes its own task — the
+        #: "Hybrid" (no TC) configuration of the Figure 8 ablation.
+        self.enabled = enabled
+
+    def combine(
+        self,
+        partitioning: Partitioning,
+        selection: SelectionResult,
+        active_mask: np.ndarray,
+    ) -> list[ScheduledTask]:
+        """Build the task list for one iteration."""
+        active_mask = np.asarray(active_mask, dtype=bool)
+
+        def active_in(partition_index: int) -> np.ndarray:
+            partition = partitioning[partition_index]
+            segment = active_mask[partition.vertex_start : partition.vertex_end]
+            return np.nonzero(segment)[0] + partition.vertex_start
+
+        if not self.enabled:
+            tasks = []
+            for index, choice in enumerate(selection.choices):
+                if choice is None:
+                    continue
+                tasks.append(
+                    ScheduledTask(engine=choice, partition_indices=[index], active_vertices=active_in(index))
+                )
+            return tasks
+
+        tasks: list[ScheduledTask] = []
+
+        # --- ExpTM-filter: merge up to k consecutive partitions -----------
+        filter_partitions = selection.partitions_using(EngineKind.EXP_FILTER)
+        current: list[int] = []
+        previous_index: int | None = None
+        for index in filter_partitions:
+            consecutive = previous_index is not None and index == previous_index + 1
+            if current and (not consecutive or len(current) >= self.combine_factor):
+                tasks.append(self._make_filter_task(current, active_in))
+                current = []
+            current.append(index)
+            previous_index = index
+        if current:
+            tasks.append(self._make_filter_task(current, active_in))
+
+        # --- ExpTM-compaction: one combined task ---------------------------
+        compaction_partitions = selection.partitions_using(EngineKind.EXP_COMPACTION)
+        if compaction_partitions:
+            vertices = np.concatenate([active_in(index) for index in compaction_partitions])
+            tasks.append(
+                ScheduledTask(
+                    engine=EngineKind.EXP_COMPACTION,
+                    partition_indices=list(compaction_partitions),
+                    active_vertices=np.sort(vertices),
+                    label="ExpTM-C[combined:%d]" % len(compaction_partitions),
+                )
+            )
+
+        # --- ImpTM-zero-copy: one combined task ----------------------------
+        zero_copy_partitions = selection.partitions_using(EngineKind.IMP_ZERO_COPY)
+        if zero_copy_partitions:
+            vertices = np.concatenate([active_in(index) for index in zero_copy_partitions])
+            tasks.append(
+                ScheduledTask(
+                    engine=EngineKind.IMP_ZERO_COPY,
+                    partition_indices=list(zero_copy_partitions),
+                    active_vertices=np.sort(vertices),
+                    label="ImpTM-ZC[combined:%d]" % len(zero_copy_partitions),
+                )
+            )
+        return tasks
+
+    def _make_filter_task(self, partition_indices: list[int], active_in) -> ScheduledTask:
+        vertices = np.concatenate([active_in(index) for index in partition_indices])
+        return ScheduledTask(
+            engine=EngineKind.EXP_FILTER,
+            partition_indices=list(partition_indices),
+            active_vertices=np.sort(vertices),
+        )

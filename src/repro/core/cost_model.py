@@ -1,0 +1,160 @@
+"""Per-partition transfer cost estimation (Section V-A, Formulas 1-3).
+
+Each iteration HyTGraph estimates, for every partition containing active
+edges, what each candidate engine would cost:
+
+* ``Tef_i`` — ExpTM-filter ships the whole partition in saturated TLPs
+  (Formula 1):  ``ceil(sum_{v in P_i} Do(v) * d1 / m / MR) * RTT``.
+* ``Tec_i`` — ExpTM-compaction ships only the active edges plus a fresh
+  index (Formula 2); the CPU-compaction term is deliberately left out of
+  the comparison because its throughput is hard to model (Section V-A,
+  "Transfer engine selection", and Section VIII), so only the transfer
+  term is estimated.
+* ``Tiz_i`` — ImpTM-zero-copy issues one or more memory requests per
+  active vertex, with a damped round trip for unsaturated TLPs
+  (Formula 3).
+
+All estimates are vectorised over partitions; RTT is an arbitrary common
+factor during comparison so the absolute value never matters, but the
+model keeps real seconds so the estimates can also be validated against
+the engines' actual execution in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import Partitioning
+from repro.sim.config import HardwareConfig
+from repro.sim.pcie import PCIeModel
+
+__all__ = ["PartitionCosts", "CostModel"]
+
+
+@dataclass(frozen=True)
+class PartitionCosts:
+    """Estimated per-partition costs for one iteration.
+
+    All arrays have one entry per partition; partitions with no active
+    edge have zero cost in every column and are never scheduled.
+    """
+
+    filter_cost: np.ndarray
+    compaction_cost: np.ndarray
+    zero_copy_cost: np.ndarray
+    active_vertices: np.ndarray
+    active_edges: np.ndarray
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of partitions covered by the estimate."""
+        return self.filter_cost.size
+
+    def active_partitions(self) -> np.ndarray:
+        """Indices of partitions that contain at least one active edge."""
+        return np.nonzero(self.active_edges > 0)[0]
+
+
+class CostModel:
+    """Formula 1-3 estimator bound to a graph, a partitioning and hardware."""
+
+    def __init__(self, graph: CSRGraph, partitioning: Partitioning, config: HardwareConfig):
+        self.graph = graph
+        self.partitioning = partitioning
+        self.config = config
+        self.pcie = PCIeModel(config)
+        self._partition_edges = partitioning.edges_per_partition()
+        self._d1 = graph.edge_bytes_per_edge
+
+    # ------------------------------------------------------------------
+    # Individual formulas
+    # ------------------------------------------------------------------
+    def filter_cost(self, partition_index: int) -> float:
+        """Formula 1: whole-partition explicit transfer time."""
+        edges = int(self._partition_edges[partition_index])
+        return self._filter_cost_from_edges(np.array([edges]))[0]
+
+    def compaction_cost(self, active_edges: int, active_vertices: int) -> float:
+        """Formula 2's transfer term: compacted active edges + index array."""
+        return self._compaction_cost_from_counts(
+            np.array([active_edges]), np.array([active_vertices])
+        )[0]
+
+    def zero_copy_cost(self, active_vertex_ids: np.ndarray, partition_index: int) -> float:
+        """Formula 3: per-vertex zero-copy access with the damped RTT."""
+        active_vertex_ids = np.asarray(active_vertex_ids, dtype=np.int64)
+        if active_vertex_ids.size == 0:
+            return 0.0
+        degrees = self.graph.out_degrees[active_vertex_ids]
+        starts = self.graph.row_offset[active_vertex_ids] * self._d1
+        requests = self.pcie.requests_for_vertices(degrees, starts, value_bytes=self._d1)
+        total_requests = int(requests.sum())
+        num_tlps = int(np.ceil(total_requests / self.config.pcie_max_outstanding)) if total_requests else 0
+        partition_edges = int(self._partition_edges[partition_index])
+        active_edges = int(degrees.sum())
+        payload_fraction = active_edges / partition_edges if partition_edges else 0.0
+        return num_tlps * self.pcie.zero_copy_rtt(payload_fraction)
+
+    # ------------------------------------------------------------------
+    # Vectorised per-iteration estimation
+    # ------------------------------------------------------------------
+    def _filter_cost_from_edges(self, partition_edges: np.ndarray) -> np.ndarray:
+        num_bytes = partition_edges.astype(np.float64) * self._d1
+        tlps = np.ceil(num_bytes / self.config.tlp_payload_bytes)
+        return tlps * self.config.tlp_round_trip_time
+
+    def _compaction_cost_from_counts(
+        self, active_edges: np.ndarray, active_vertices: np.ndarray
+    ) -> np.ndarray:
+        num_bytes = (
+            active_edges.astype(np.float64) * self._d1
+            + active_vertices.astype(np.float64) * self.config.index_entry_bytes
+        )
+        tlps = np.ceil(num_bytes / self.config.tlp_payload_bytes)
+        return tlps * self.config.tlp_round_trip_time
+
+    def estimate(self, active_mask: np.ndarray) -> PartitionCosts:
+        """Estimate all three engine costs for every partition.
+
+        ``active_mask`` is the frontier bitmap at the start of the
+        iteration.  The returned arrays are what the
+        :class:`~repro.core.selection.EngineSelector` compares.
+        """
+        active_mask = np.asarray(active_mask, dtype=bool)
+        num_partitions = self.partitioning.num_partitions
+        active_vertices, active_edges = self.partitioning.active_counts(active_mask)
+
+        filter_cost = self._filter_cost_from_edges(self._partition_edges)
+        filter_cost = np.where(active_edges > 0, filter_cost, 0.0)
+        compaction_cost = self._compaction_cost_from_counts(active_edges, active_vertices)
+        compaction_cost = np.where(active_edges > 0, compaction_cost, 0.0)
+
+        # Zero-copy: per-vertex requests, grouped back per partition.
+        zero_copy_cost = np.zeros(num_partitions, dtype=np.float64)
+        active_ids = np.nonzero(active_mask)[0]
+        if active_ids.size:
+            degrees = self.graph.out_degrees[active_ids]
+            starts = self.graph.row_offset[active_ids] * self._d1
+            requests = self.pcie.requests_for_vertices(degrees, starts, value_bytes=self._d1)
+            partition_of = self.partitioning.partition_of_vertices(active_ids)
+            requests_per_partition = np.bincount(
+                partition_of, weights=requests, minlength=num_partitions
+            )
+            tlps = np.ceil(requests_per_partition / self.config.pcie_max_outstanding)
+            partition_edges_safe = np.maximum(self._partition_edges, 1)
+            payload_fraction = np.clip(active_edges / partition_edges_safe, 0.0, 1.0)
+            gamma = self.config.zero_copy_gamma
+            rtt_zc = (gamma + (1.0 - gamma) * payload_fraction) * self.config.tlp_round_trip_time
+            zero_copy_cost = tlps * rtt_zc
+            zero_copy_cost = np.where(active_edges > 0, zero_copy_cost, 0.0)
+
+        return PartitionCosts(
+            filter_cost=filter_cost,
+            compaction_cost=compaction_cost,
+            zero_copy_cost=zero_copy_cost,
+            active_vertices=active_vertices,
+            active_edges=active_edges,
+        )

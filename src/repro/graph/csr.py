@@ -1,0 +1,346 @@
+"""Compressed sparse row (CSR) graph storage.
+
+The paper organises the input graph into CSR (Figure 1): a ``row_offset``
+array of length ``|V| + 1`` giving each vertex's slice into the
+``column_index`` (neighbor) array, plus an optional ``edge_value`` array of
+edge weights.  The neighbor-index array is small and lives in GPU memory;
+the neighbor and weight arrays are the large *edge-associated data* that
+live in host memory and must be moved across PCIe on demand.
+
+:class:`CSRGraph` is an immutable value object shared by the simulator, the
+transfer engines and the algorithms.  All arrays are NumPy arrays so that
+vertex-centric kernels can be evaluated with vectorised operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["CSRGraph"]
+
+# Byte sizes used throughout the cost model (Section V-A): a neighbor id and
+# an edge weight each occupy four bytes, matching the paper's d1 = 4.
+VERTEX_ID_BYTES = 4
+EDGE_WEIGHT_BYTES = 4
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """A directed graph in compressed sparse row form.
+
+    Parameters
+    ----------
+    row_offset:
+        ``int64`` array of length ``num_vertices + 1``.  The out-neighbors
+        of vertex ``v`` are ``column_index[row_offset[v]:row_offset[v + 1]]``.
+    column_index:
+        ``int64`` array of destination vertex ids, length ``num_edges``.
+    edge_value:
+        Optional ``float64`` array of edge weights, length ``num_edges``.
+        ``None`` means the graph is unweighted (BFS/CC/PageRank workloads).
+    name:
+        Optional human-readable name used in benchmark reports.
+    """
+
+    row_offset: np.ndarray
+    column_index: np.ndarray
+    edge_value: np.ndarray | None = None
+    name: str = "graph"
+    _out_degrees: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+    _in_degrees: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        row_offset = np.asarray(self.row_offset, dtype=np.int64)
+        column_index = np.asarray(self.column_index, dtype=np.int64)
+        object.__setattr__(self, "row_offset", row_offset)
+        object.__setattr__(self, "column_index", column_index)
+        if self.edge_value is not None:
+            edge_value = np.asarray(self.edge_value, dtype=np.float64)
+            object.__setattr__(self, "edge_value", edge_value)
+        self._validate()
+        object.__setattr__(self, "_out_degrees", np.diff(row_offset))
+        object.__setattr__(self, "_in_degrees", None)
+
+    def _validate(self) -> None:
+        if self.row_offset.ndim != 1 or self.row_offset.size < 1:
+            raise ValueError("row_offset must be a 1-D array with at least one entry")
+        if self.row_offset[0] != 0:
+            raise ValueError("row_offset must start at 0")
+        if np.any(np.diff(self.row_offset) < 0):
+            raise ValueError("row_offset must be non-decreasing")
+        if self.row_offset[-1] != self.column_index.size:
+            raise ValueError(
+                "row_offset[-1] (%d) must equal the number of edges (%d)"
+                % (self.row_offset[-1], self.column_index.size)
+            )
+        if self.column_index.size and (
+            self.column_index.min() < 0 or self.column_index.max() >= self.num_vertices
+        ):
+            raise ValueError("column_index contains vertex ids outside [0, num_vertices)")
+        if self.edge_value is not None and self.edge_value.size != self.column_index.size:
+            raise ValueError("edge_value must have one entry per edge")
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``|V|``."""
+        return int(self.row_offset.size - 1)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges ``|E|``."""
+        return int(self.column_index.size)
+
+    @property
+    def is_weighted(self) -> bool:
+        """Whether the graph carries per-edge weights."""
+        return self.edge_value is not None
+
+    @property
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every vertex (``int64`` array of length ``|V|``)."""
+        return self._out_degrees
+
+    @property
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every vertex, computed lazily and cached."""
+        if self._in_degrees is None:
+            counts = np.bincount(self.column_index, minlength=self.num_vertices)
+            object.__setattr__(self, "_in_degrees", counts.astype(np.int64))
+        return self._in_degrees
+
+    @property
+    def average_degree(self) -> float:
+        """Average out-degree ``|E| / |V|``."""
+        if self.num_vertices == 0:
+            return 0.0
+        return self.num_edges / self.num_vertices
+
+    @property
+    def edge_bytes_per_edge(self) -> int:
+        """Bytes of edge-associated data per edge (neighbor id + weight)."""
+        per_edge = VERTEX_ID_BYTES
+        if self.is_weighted:
+            per_edge += EDGE_WEIGHT_BYTES
+        return per_edge
+
+    @property
+    def edge_data_bytes(self) -> int:
+        """Total bytes of host-resident edge-associated data."""
+        return self.num_edges * self.edge_bytes_per_edge
+
+    # ------------------------------------------------------------------
+    # Neighborhood access
+    # ------------------------------------------------------------------
+    def out_degree(self, vertex: int) -> int:
+        """Out-degree of a single vertex."""
+        return int(self.row_offset[vertex + 1] - self.row_offset[vertex])
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        """Out-neighbors of ``vertex`` as a view into ``column_index``."""
+        start, end = self.row_offset[vertex], self.row_offset[vertex + 1]
+        return self.column_index[start:end]
+
+    def edge_weights(self, vertex: int) -> np.ndarray:
+        """Weights of the out-edges of ``vertex`` (all 1.0 if unweighted)."""
+        start, end = self.row_offset[vertex], self.row_offset[vertex + 1]
+        if self.edge_value is None:
+            return np.ones(int(end - start), dtype=np.float64)
+        return self.edge_value[start:end]
+
+    def edge_slice(self, vertex: int) -> tuple[int, int]:
+        """Half-open ``[start, end)`` slice of ``vertex`` in the edge arrays."""
+        return int(self.row_offset[vertex]), int(self.row_offset[vertex + 1])
+
+    def iter_edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate ``(src, dst, weight)`` triples.  Weight is 1.0 if unweighted."""
+        for src in range(self.num_vertices):
+            start, end = self.edge_slice(src)
+            for idx in range(start, end):
+                weight = 1.0 if self.edge_value is None else float(self.edge_value[idx])
+                yield src, int(self.column_index[idx]), weight
+
+    def edge_sources(self) -> np.ndarray:
+        """Source vertex of every edge, aligned with ``column_index``."""
+        sources = np.empty(self.num_edges, dtype=np.int64)
+        for vertex in range(self.num_vertices):
+            start, end = self.edge_slice(vertex)
+            sources[start:end] = vertex
+        return sources
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Sequence[tuple[int, int]] | np.ndarray,
+        num_vertices: int | None = None,
+        weights: Sequence[float] | np.ndarray | None = None,
+        name: str = "graph",
+        sort_neighbors: bool = True,
+        deduplicate: bool = False,
+    ) -> "CSRGraph":
+        """Build a CSR graph from an edge list.
+
+        Parameters
+        ----------
+        edges:
+            Sequence of ``(src, dst)`` pairs or an ``(m, 2)`` array.
+        num_vertices:
+            Total vertex count.  Defaults to ``max id + 1``.
+        weights:
+            Optional per-edge weights aligned with ``edges``.
+        sort_neighbors:
+            Sort each adjacency list by destination id (CSR convention).
+        deduplicate:
+            Drop duplicate ``(src, dst)`` pairs, keeping the first weight.
+        """
+        edge_array = np.asarray(edges, dtype=np.int64)
+        if edge_array.size == 0:
+            edge_array = edge_array.reshape(0, 2)
+        if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+            raise ValueError("edges must be an (m, 2) array of (src, dst) pairs")
+        weight_array = None
+        if weights is not None:
+            weight_array = np.asarray(weights, dtype=np.float64)
+            if weight_array.size != edge_array.shape[0]:
+                raise ValueError("weights must align with edges")
+
+        if num_vertices is None:
+            num_vertices = int(edge_array.max()) + 1 if edge_array.size else 0
+        if edge_array.size and (edge_array.min() < 0 or edge_array.max() >= num_vertices):
+            raise ValueError("edge endpoints outside [0, num_vertices)")
+
+        if deduplicate and edge_array.size:
+            keys = edge_array[:, 0] * np.int64(num_vertices) + edge_array[:, 1]
+            _, unique_idx = np.unique(keys, return_index=True)
+            unique_idx.sort()
+            edge_array = edge_array[unique_idx]
+            if weight_array is not None:
+                weight_array = weight_array[unique_idx]
+
+        if edge_array.size:
+            if sort_neighbors:
+                order = np.lexsort((edge_array[:, 1], edge_array[:, 0]))
+            else:
+                order = np.argsort(edge_array[:, 0], kind="stable")
+            edge_array = edge_array[order]
+            if weight_array is not None:
+                weight_array = weight_array[order]
+
+        counts = np.bincount(edge_array[:, 0], minlength=num_vertices) if edge_array.size else np.zeros(num_vertices, dtype=np.int64)
+        row_offset = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=row_offset[1:])
+        column_index = edge_array[:, 1] if edge_array.size else np.zeros(0, dtype=np.int64)
+        return cls(row_offset, column_index, weight_array, name=name)
+
+    @classmethod
+    def from_adjacency(
+        cls,
+        adjacency: dict[int, Iterable[int]],
+        num_vertices: int | None = None,
+        name: str = "graph",
+    ) -> "CSRGraph":
+        """Build a CSR graph from a ``{src: [dst, ...]}`` adjacency mapping."""
+        edges = [(src, dst) for src, neighbors in adjacency.items() for dst in neighbors]
+        if num_vertices is None:
+            max_id = -1
+            for src, neighbors in adjacency.items():
+                max_id = max(max_id, src, *(list(neighbors) or [-1]))
+            num_vertices = max_id + 1
+        return cls.from_edges(edges, num_vertices=num_vertices, name=name)
+
+    @classmethod
+    def empty(cls, num_vertices: int = 0, name: str = "empty") -> "CSRGraph":
+        """A graph with ``num_vertices`` vertices and no edges."""
+        return cls(np.zeros(num_vertices + 1, dtype=np.int64), np.zeros(0, dtype=np.int64), name=name)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def with_weights(self, weights: np.ndarray | float) -> "CSRGraph":
+        """Return a copy with the given per-edge weights (scalar broadcasts)."""
+        if np.isscalar(weights):
+            weight_array = np.full(self.num_edges, float(weights), dtype=np.float64)
+        else:
+            weight_array = np.asarray(weights, dtype=np.float64)
+        return CSRGraph(self.row_offset, self.column_index, weight_array, name=self.name)
+
+    def without_weights(self) -> "CSRGraph":
+        """Return an unweighted copy (drops ``edge_value``)."""
+        return CSRGraph(self.row_offset, self.column_index, None, name=self.name)
+
+    def reverse(self) -> "CSRGraph":
+        """Return the transpose graph (every edge reversed)."""
+        sources = self.edge_sources()
+        edges = np.stack([self.column_index, sources], axis=1)
+        weights = self.edge_value
+        return CSRGraph.from_edges(
+            edges, num_vertices=self.num_vertices, weights=weights, name=self.name + "-rev"
+        )
+
+    def symmetrize(self) -> "CSRGraph":
+        """Return an undirected version: each edge present in both directions."""
+        sources = self.edge_sources()
+        forward = np.stack([sources, self.column_index], axis=1)
+        backward = np.stack([self.column_index, sources], axis=1)
+        edges = np.concatenate([forward, backward], axis=0)
+        weights = None
+        if self.edge_value is not None:
+            weights = np.concatenate([self.edge_value, self.edge_value])
+        return CSRGraph.from_edges(
+            edges,
+            num_vertices=self.num_vertices,
+            weights=weights,
+            name=self.name + "-sym",
+            deduplicate=True,
+        )
+
+    def permute(self, order: np.ndarray) -> "CSRGraph":
+        """Relabel vertices so that old vertex ``order[i]`` becomes new vertex ``i``.
+
+        ``order`` must be a permutation of ``range(num_vertices)``.  This is
+        the primitive behind hub sorting (Section VI-A): reordering changes
+        the physical layout of the edge-associated arrays, which is what the
+        partitioner and the transfer engines operate on.
+        """
+        order = np.asarray(order, dtype=np.int64)
+        if order.size != self.num_vertices or np.any(np.sort(order) != np.arange(self.num_vertices)):
+            raise ValueError("order must be a permutation of range(num_vertices)")
+        # new_id[old_vertex] = new label
+        new_id = np.empty(self.num_vertices, dtype=np.int64)
+        new_id[order] = np.arange(self.num_vertices)
+
+        sources = new_id[self.edge_sources()]
+        destinations = new_id[self.column_index]
+        edges = np.stack([sources, destinations], axis=1)
+        return CSRGraph.from_edges(
+            edges,
+            num_vertices=self.num_vertices,
+            weights=self.edge_value,
+            name=self.name,
+        )
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.DiGraph` (testing / validation only)."""
+        import networkx as nx
+
+        nx_graph = nx.DiGraph()
+        nx_graph.add_nodes_from(range(self.num_vertices))
+        for src, dst, weight in self.iter_edges():
+            nx_graph.add_edge(src, dst, weight=weight)
+        return nx_graph
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "CSRGraph(name=%r, |V|=%d, |E|=%d, weighted=%s)" % (
+            self.name,
+            self.num_vertices,
+            self.num_edges,
+            self.is_weighted,
+        )

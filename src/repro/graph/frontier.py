@@ -1,0 +1,153 @@
+"""Active-vertex frontiers.
+
+Vertex-centric processing only touches the *active* vertices each
+iteration (Section II-A).  HyTGraph tracks activity with a bitmap-directed
+frontier (Section VI-C, borrowed from Grus) so that per-partition
+activeness can be computed cheaply.  :class:`Frontier` wraps a boolean
+NumPy array with the handful of operations the runtime and the transfer
+engines need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["Frontier"]
+
+
+class Frontier:
+    """A set of active vertices backed by a boolean bitmap."""
+
+    def __init__(self, num_vertices: int, active: Iterable[int] | np.ndarray | None = None):
+        self._mask = np.zeros(num_vertices, dtype=bool)
+        if active is not None:
+            active_array = np.asarray(list(active) if not isinstance(active, np.ndarray) else active)
+            if active_array.size:
+                if active_array.dtype == bool:
+                    if active_array.size != num_vertices:
+                        raise ValueError("boolean mask must have length num_vertices")
+                    self._mask |= active_array
+                else:
+                    self._mask[active_array.astype(np.int64)] = True
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mask(cls, mask: np.ndarray) -> "Frontier":
+        """Wrap an existing boolean mask (copied)."""
+        frontier = cls(mask.size)
+        frontier._mask = np.array(mask, dtype=bool, copy=True)
+        return frontier
+
+    @classmethod
+    def all_active(cls, num_vertices: int) -> "Frontier":
+        """A frontier with every vertex active (first PageRank iteration)."""
+        frontier = cls(num_vertices)
+        frontier._mask[:] = True
+        return frontier
+
+    @classmethod
+    def single(cls, num_vertices: int, vertex: int) -> "Frontier":
+        """A frontier containing only ``vertex`` (BFS/SSSP source)."""
+        return cls(num_vertices, [vertex])
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Total number of vertices the frontier ranges over."""
+        return self._mask.size
+
+    @property
+    def mask(self) -> np.ndarray:
+        """The underlying boolean bitmap (do not mutate)."""
+        return self._mask
+
+    @property
+    def count(self) -> int:
+        """Number of active vertices."""
+        return int(self._mask.sum())
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether no vertices are active (algorithm converged)."""
+        return not self._mask.any()
+
+    def active_vertices(self) -> np.ndarray:
+        """Sorted array of active vertex ids."""
+        return np.nonzero(self._mask)[0]
+
+    def is_active(self, vertex: int) -> bool:
+        """Whether a single vertex is active."""
+        return bool(self._mask[vertex])
+
+    def active_edges(self, out_degrees: np.ndarray) -> int:
+        """Total out-degree of the active vertices (the active edge count)."""
+        return int(out_degrees[self._mask].sum())
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def activate(self, vertices: np.ndarray | Iterable[int]) -> None:
+        """Mark the given vertices active."""
+        vertex_array = np.asarray(list(vertices) if not isinstance(vertices, np.ndarray) else vertices)
+        if vertex_array.size:
+            self._mask[vertex_array.astype(np.int64)] = True
+
+    def deactivate(self, vertices: np.ndarray | Iterable[int]) -> None:
+        """Mark the given vertices inactive."""
+        vertex_array = np.asarray(list(vertices) if not isinstance(vertices, np.ndarray) else vertices)
+        if vertex_array.size:
+            self._mask[vertex_array.astype(np.int64)] = False
+
+    def clear(self) -> None:
+        """Deactivate every vertex."""
+        self._mask[:] = False
+
+    def clear_range(self, start: int, end: int) -> None:
+        """Deactivate every vertex in ``[start, end)`` (used per partition)."""
+        self._mask[start:end] = False
+
+    # ------------------------------------------------------------------
+    # Set algebra
+    # ------------------------------------------------------------------
+    def union(self, other: "Frontier") -> "Frontier":
+        """Frontier active in either operand."""
+        self._check_compatible(other)
+        return Frontier.from_mask(self._mask | other._mask)
+
+    def intersection(self, other: "Frontier") -> "Frontier":
+        """Frontier active in both operands."""
+        self._check_compatible(other)
+        return Frontier.from_mask(self._mask & other._mask)
+
+    def difference(self, other: "Frontier") -> "Frontier":
+        """Frontier active in ``self`` but not in ``other``."""
+        self._check_compatible(other)
+        return Frontier.from_mask(self._mask & ~other._mask)
+
+    def copy(self) -> "Frontier":
+        """Deep copy."""
+        return Frontier.from_mask(self._mask)
+
+    def _check_compatible(self, other: "Frontier") -> None:
+        if self.num_vertices != other.num_vertices:
+            raise ValueError("frontiers range over different vertex counts")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Frontier):
+            return NotImplemented
+        return self.num_vertices == other.num_vertices and bool(np.array_equal(self._mask, other._mask))
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __contains__(self, vertex: int) -> bool:
+        return self.is_active(vertex)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Frontier(active=%d/%d)" % (self.count, self.num_vertices)

@@ -1,0 +1,246 @@
+"""Chunk-based edge-balanced partitioning of the edge-associated data.
+
+HyTGraph logically partitions the host-resident edge arrays into N
+edge-balanced partitions ``{P0, ..., P_{N-1}}``, each holding the out-edges
+of a *consecutive* range of vertices (Section IV).  The default partition
+size is 32 MB of edge data (Section V-B), chosen small so that the
+cost-aware engine selection (Section V-A) can be fine grained; the task
+combiner later merges partitions that picked the same engine.
+
+A partition never splits a vertex's adjacency list: the vertex boundary is
+placed at the first vertex whose edges would overflow the byte budget.  A
+single vertex whose adjacency list alone exceeds the budget gets a
+partition of its own (real web graphs have such vertices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["EdgePartition", "Partitioning", "partition_by_bytes", "partition_by_count"]
+
+DEFAULT_PARTITION_BYTES = 32 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class EdgePartition:
+    """One contiguous vertex-range partition of the edge-associated data.
+
+    Attributes
+    ----------
+    index:
+        Position of this partition in the partitioning (0-based).
+    vertex_start, vertex_end:
+        Half-open vertex-id range ``[vertex_start, vertex_end)`` whose
+        out-edges belong to this partition.
+    edge_start, edge_end:
+        Half-open slice of the CSR edge arrays covered by the partition.
+    edge_bytes:
+        Bytes of edge-associated data (neighbors + weights) in the slice.
+    """
+
+    index: int
+    vertex_start: int
+    vertex_end: int
+    edge_start: int
+    edge_end: int
+    edge_bytes: int
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices whose adjacency lists live in this partition."""
+        return self.vertex_end - self.vertex_start
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges stored in this partition."""
+        return self.edge_end - self.edge_start
+
+    def vertices(self) -> np.ndarray:
+        """The vertex ids covered by this partition."""
+        return np.arange(self.vertex_start, self.vertex_end, dtype=np.int64)
+
+    def contains_vertex(self, vertex: int) -> bool:
+        """Whether ``vertex``'s adjacency list lives in this partition."""
+        return self.vertex_start <= vertex < self.vertex_end
+
+
+class Partitioning:
+    """An ordered list of :class:`EdgePartition` covering a graph.
+
+    Provides vectorised helpers the runtime needs every iteration: mapping
+    vertices to partitions and summing active vertices / edges per
+    partition given a frontier.
+    """
+
+    def __init__(self, graph: CSRGraph, partitions: Sequence[EdgePartition]):
+        self.graph = graph
+        self.partitions = list(partitions)
+        self._validate()
+        # vertex -> partition index lookup, used for per-partition reductions.
+        boundaries = np.array([p.vertex_start for p in self.partitions] + [graph.num_vertices])
+        self._vertex_starts = boundaries[:-1]
+        self._partition_of_vertex = np.zeros(graph.num_vertices, dtype=np.int64)
+        for partition in self.partitions:
+            self._partition_of_vertex[partition.vertex_start : partition.vertex_end] = partition.index
+
+    def _validate(self) -> None:
+        if not self.partitions:
+            if self.graph.num_vertices != 0:
+                raise ValueError("non-empty graph requires at least one partition")
+            return
+        expected_vertex = 0
+        expected_edge = 0
+        for index, partition in enumerate(self.partitions):
+            if partition.index != index:
+                raise ValueError("partition indices must be consecutive from 0")
+            if partition.vertex_start != expected_vertex:
+                raise ValueError("partitions must tile the vertex range without gaps")
+            if partition.edge_start != expected_edge:
+                raise ValueError("partitions must tile the edge range without gaps")
+            expected_vertex = partition.vertex_end
+            expected_edge = partition.edge_end
+        if expected_vertex != self.graph.num_vertices:
+            raise ValueError("partitions must cover all vertices")
+        if expected_edge != self.graph.num_edges:
+            raise ValueError("partitions must cover all edges")
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    def __iter__(self) -> Iterator[EdgePartition]:
+        return iter(self.partitions)
+
+    def __getitem__(self, index: int) -> EdgePartition:
+        return self.partitions[index]
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of partitions."""
+        return len(self.partitions)
+
+    def partition_of_vertex(self, vertex: int) -> int:
+        """Index of the partition holding ``vertex``'s adjacency list."""
+        return int(self._partition_of_vertex[vertex])
+
+    def partition_of_vertices(self, vertices: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`partition_of_vertex`."""
+        return self._partition_of_vertex[np.asarray(vertices, dtype=np.int64)]
+
+    def active_counts(self, active_mask: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-partition counts of active vertices and active edges.
+
+        Parameters
+        ----------
+        active_mask:
+            Boolean array of length ``num_vertices`` marking active vertices.
+
+        Returns
+        -------
+        (active_vertices, active_edges):
+            Two ``int64`` arrays of length ``num_partitions``.
+        """
+        active_mask = np.asarray(active_mask, dtype=bool)
+        active_vertex_ids = np.nonzero(active_mask)[0]
+        partition_ids = self._partition_of_vertex[active_vertex_ids]
+        active_vertices = np.bincount(partition_ids, minlength=self.num_partitions)
+        degrees = self.graph.out_degrees[active_vertex_ids]
+        active_edges = np.bincount(partition_ids, weights=degrees, minlength=self.num_partitions)
+        return active_vertices.astype(np.int64), active_edges.astype(np.int64)
+
+    def edges_per_partition(self) -> np.ndarray:
+        """Total edge count of every partition."""
+        return np.array([p.num_edges for p in self.partitions], dtype=np.int64)
+
+    def bytes_per_partition(self) -> np.ndarray:
+        """Total edge-data bytes of every partition."""
+        return np.array([p.edge_bytes for p in self.partitions], dtype=np.int64)
+
+
+def _build_partitions(graph: CSRGraph, boundaries: list[int]) -> Partitioning:
+    """Build a :class:`Partitioning` from vertex boundaries (including 0 and |V|)."""
+    per_edge = graph.edge_bytes_per_edge
+    partitions = []
+    for index in range(len(boundaries) - 1):
+        vertex_start, vertex_end = boundaries[index], boundaries[index + 1]
+        edge_start = int(graph.row_offset[vertex_start])
+        edge_end = int(graph.row_offset[vertex_end])
+        partitions.append(
+            EdgePartition(
+                index=index,
+                vertex_start=vertex_start,
+                vertex_end=vertex_end,
+                edge_start=edge_start,
+                edge_end=edge_end,
+                edge_bytes=(edge_end - edge_start) * per_edge,
+            )
+        )
+    return Partitioning(graph, partitions)
+
+
+def partition_by_bytes(graph: CSRGraph, partition_bytes: int = DEFAULT_PARTITION_BYTES) -> Partitioning:
+    """Partition the edge data into chunks of at most ``partition_bytes`` bytes.
+
+    This mirrors HyTGraph's default 32 MB partitions (Section V-B).  Vertex
+    adjacency lists are never split; an adjacency list larger than the
+    budget gets its own partition.
+    """
+    if partition_bytes <= 0:
+        raise ValueError("partition_bytes must be positive")
+    if graph.num_vertices == 0:
+        return Partitioning(graph, [])
+    per_edge = graph.edge_bytes_per_edge
+    budget_edges = max(1, partition_bytes // per_edge)
+
+    boundaries = [0]
+    current_edges = 0
+    for vertex in range(graph.num_vertices):
+        degree = int(graph.out_degrees[vertex])
+        if current_edges > 0 and current_edges + degree > budget_edges:
+            boundaries.append(vertex)
+            current_edges = 0
+        current_edges += degree
+    boundaries.append(graph.num_vertices)
+    # Remove a possible duplicated final boundary (when the loop closed a
+    # partition exactly at the last vertex).
+    deduped = [boundaries[0]]
+    for boundary in boundaries[1:]:
+        if boundary != deduped[-1]:
+            deduped.append(boundary)
+    if deduped[-1] != graph.num_vertices:
+        deduped.append(graph.num_vertices)
+    return _build_partitions(graph, deduped)
+
+
+def partition_by_count(graph: CSRGraph, num_partitions: int) -> Partitioning:
+    """Partition into (approximately) ``num_partitions`` edge-balanced chunks.
+
+    Used where the paper fixes the partition count instead of the byte
+    budget (e.g. the 256-partition analysis of Figure 3a).
+    """
+    if num_partitions <= 0:
+        raise ValueError("num_partitions must be positive")
+    if graph.num_vertices == 0:
+        return Partitioning(graph, [])
+    num_partitions = min(num_partitions, graph.num_vertices)
+    target = graph.num_edges / num_partitions if num_partitions else 0
+
+    boundaries = [0]
+    for index in range(1, num_partitions):
+        threshold = index * target
+        # First vertex whose cumulative edge count reaches the threshold.
+        boundary = int(np.searchsorted(graph.row_offset[1:], threshold, side="left")) + 1
+        boundary = min(max(boundary, boundaries[-1] + 1), graph.num_vertices)
+        if boundary > boundaries[-1] and boundary < graph.num_vertices:
+            boundaries.append(boundary)
+    boundaries.append(graph.num_vertices)
+    deduped = [boundaries[0]]
+    for boundary in boundaries[1:]:
+        if boundary != deduped[-1]:
+            deduped.append(boundary)
+    return _build_partitions(graph, deduped)

@@ -1,0 +1,12 @@
+"""Run instrumentation and reporting.
+
+Every simulated system produces the same :class:`RunResult` /
+:class:`IterationStats` records, which is what makes the paper's
+cross-system comparisons (Table V, Table VI, Figures 7-10) directly
+computable from this package.
+"""
+
+from repro.metrics.results import IterationStats, RunResult
+from repro.metrics.tables import format_table, format_series, normalize_speedups
+
+__all__ = ["IterationStats", "RunResult", "format_table", "format_series", "normalize_speedups"]

@@ -1,0 +1,172 @@
+"""Per-iteration and per-run measurement records.
+
+The paper's evaluation reports three kinds of numbers, and every one can
+be derived from these records:
+
+* overall runtimes (Table V, Figures 9/10) — :attr:`RunResult.total_time`;
+* transfer volume normalised to edge volume (Table VI) —
+  :meth:`RunResult.transfer_ratio`;
+* per-iteration breakdowns and engine mixes (Figures 3 and 7) — the
+  :class:`IterationStats` list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["IterationStats", "RunResult"]
+
+
+@dataclass
+class IterationStats:
+    """Measurements of one (outer) iteration of a system.
+
+    Attributes
+    ----------
+    index:
+        Iteration number, starting at 0.
+    time:
+        Simulated wall-clock seconds of the iteration (scheduler makespan
+        plus any per-iteration overhead such as cost analysis).
+    active_vertices / active_edges:
+        Size of the frontier at the start of the iteration.
+    transfer_bytes:
+        Bytes that crossed PCIe during the iteration.
+    compaction_time / transfer_time / kernel_time:
+        Busy time of the CPU-compaction, PCIe and GPU resources (these may
+        overlap, so they need not sum to ``time``).
+    processed_edges:
+        Edges actually pushed by the vertex program (exceeds
+        ``active_edges`` when a system re-processes loaded subgraphs).
+    engine_partitions:
+        How many partitions chose each transfer engine this iteration.
+    engine_tasks:
+        How many scheduled tasks each engine contributed after combining.
+    """
+
+    index: int
+    time: float
+    active_vertices: int
+    active_edges: int
+    transfer_bytes: int = 0
+    compaction_time: float = 0.0
+    transfer_time: float = 0.0
+    kernel_time: float = 0.0
+    processed_edges: int = 0
+    engine_partitions: dict[str, int] = field(default_factory=dict)
+    engine_tasks: dict[str, int] = field(default_factory=dict)
+
+    def breakdown(self) -> dict[str, float]:
+        """The Figure 3(b)/(c) style {compaction, transfer, computation} split."""
+        return {
+            "compaction": self.compaction_time,
+            "transfer": self.transfer_time,
+            "computation": self.kernel_time,
+        }
+
+
+@dataclass
+class RunResult:
+    """Complete record of one system executing one algorithm on one graph."""
+
+    system: str
+    algorithm: str
+    graph_name: str
+    iterations: list[IterationStats] = field(default_factory=list)
+    values: np.ndarray | None = None
+    converged: bool = False
+    preprocessing_time: float = 0.0
+    extra: dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def num_iterations(self) -> int:
+        """Number of outer iterations executed."""
+        return len(self.iterations)
+
+    @property
+    def total_time(self) -> float:
+        """Total simulated execution time (excluding preprocessing).
+
+        The paper reports execution time with preprocessing removed
+        (Section III-A / VII-B), so this is the headline number.
+        """
+        return float(sum(stat.time for stat in self.iterations))
+
+    @property
+    def total_time_with_preprocessing(self) -> float:
+        """Execution time including one-off preprocessing."""
+        return self.total_time + self.preprocessing_time
+
+    @property
+    def total_transfer_bytes(self) -> int:
+        """Total bytes moved across PCIe."""
+        return int(sum(stat.transfer_bytes for stat in self.iterations))
+
+    @property
+    def total_compaction_time(self) -> float:
+        """Total CPU compaction busy time."""
+        return float(sum(stat.compaction_time for stat in self.iterations))
+
+    @property
+    def total_transfer_time(self) -> float:
+        """Total PCIe busy time."""
+        return float(sum(stat.transfer_time for stat in self.iterations))
+
+    @property
+    def total_kernel_time(self) -> float:
+        """Total GPU kernel busy time."""
+        return float(sum(stat.kernel_time for stat in self.iterations))
+
+    @property
+    def total_processed_edges(self) -> int:
+        """Total edges pushed by the vertex program across all iterations."""
+        return int(sum(stat.processed_edges for stat in self.iterations))
+
+    def transfer_ratio(self, edge_data_bytes: int) -> float:
+        """Transfer volume divided by one full pass over the edge data.
+
+        This is the Table VI metric ("Transfer volume / Edge volume").
+        """
+        if edge_data_bytes <= 0:
+            return 0.0
+        return self.total_transfer_bytes / edge_data_bytes
+
+    def per_iteration_times(self) -> list[float]:
+        """Iteration times in order (the Figure 3(g)/(h), 7(c)/(d) series)."""
+        return [stat.time for stat in self.iterations]
+
+    def engine_mix(self) -> list[dict[str, float]]:
+        """Per-iteration fraction of active partitions per engine (Figure 7a/b)."""
+        mix = []
+        for stat in self.iterations:
+            total = sum(stat.engine_partitions.values())
+            if total == 0:
+                mix.append({})
+            else:
+                mix.append({engine: count / total for engine, count in stat.engine_partitions.items()})
+        return mix
+
+    def breakdown(self) -> dict[str, float]:
+        """Whole-run {compaction, transfer, computation} totals (Figure 3c)."""
+        return {
+            "compaction": self.total_compaction_time,
+            "transfer": self.total_transfer_time,
+            "computation": self.total_kernel_time,
+        }
+
+    def summary_row(self) -> dict[str, object]:
+        """One row of a comparison table."""
+        return {
+            "system": self.system,
+            "algorithm": self.algorithm,
+            "graph": self.graph_name,
+            "time": round(self.total_time, 6),
+            "iterations": self.num_iterations,
+            "transfer_MB": round(self.total_transfer_bytes / (1024 * 1024), 3),
+            "converged": self.converged,
+        }

@@ -1,0 +1,74 @@
+"""Timeline records produced by the multi-stream scheduler.
+
+The scheduler in :mod:`repro.sim.streams` assigns every task's stages
+(CPU compaction, PCIe transfer, GPU kernel) to simulated resources; the
+resulting :class:`TimelineEntry` records are what the per-iteration
+breakdown figures (Figure 3b/3c, Figure 7c/7d) aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["StageSpan", "TimelineEntry", "Timeline"]
+
+
+@dataclass(frozen=True)
+class StageSpan:
+    """One resource occupancy interval: ``[start, end)`` seconds on ``resource``."""
+
+    resource: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Length of the span in seconds."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """Scheduling record of one task."""
+
+    name: str
+    engine: str
+    stream: int
+    spans: tuple[StageSpan, ...]
+
+    @property
+    def start(self) -> float:
+        """When the first stage of the task started."""
+        return min(span.start for span in self.spans) if self.spans else 0.0
+
+    @property
+    def end(self) -> float:
+        """When the last stage of the task finished."""
+        return max(span.end for span in self.spans) if self.spans else 0.0
+
+    def time_on(self, resource: str) -> float:
+        """Total seconds this task occupied ``resource``."""
+        return sum(span.duration for span in self.spans if span.resource == resource)
+
+
+@dataclass
+class Timeline:
+    """The full schedule of one iteration."""
+
+    entries: list[TimelineEntry] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> float:
+        """End-to-end wall-clock time of the schedule."""
+        return max((entry.end for entry in self.entries), default=0.0)
+
+    def busy_time(self, resource: str) -> float:
+        """Total busy seconds of a resource across all tasks."""
+        return sum(entry.time_on(resource) for entry in self.entries)
+
+    def per_engine_time(self) -> dict[str, float]:
+        """Sum of task durations grouped by transfer engine."""
+        totals: dict[str, float] = {}
+        for entry in self.entries:
+            totals[entry.engine] = totals.get(entry.engine, 0.0) + (entry.end - entry.start)
+        return totals

@@ -1,0 +1,74 @@
+"""GPU kernel and CPU processing time models.
+
+The transfer engines decide how bytes reach the GPU; this module decides
+how long the *computation* on those bytes takes.  The paper inherits its
+processing kernels from SEP-Graph/Tigr with CTA scheduling and
+bitmap-directed frontiers (Section VI-C); at the level this reproduction
+models, kernel time is dominated by
+
+* a fixed launch overhead per kernel (which is why HyTGraph's task
+  combiner merges partitions — Section V-B), and
+* an edge-processing term: active edges divided by an effective edge
+  throughput, derated when the frontier is tiny (low occupancy) or when
+  many active vertices contend on atomics.
+
+The CPU model prices the Galois-like in-memory baseline and is an order of
+magnitude slower per edge, matching the 5–13x GPU speedups of Table V.
+"""
+
+from __future__ import annotations
+
+from repro.sim.config import HardwareConfig
+
+__all__ = ["KernelModel"]
+
+# Below this many active edges a kernel cannot fill the GPU, so throughput
+# ramps linearly from ``_MIN_OCCUPANCY_FRACTION`` up to 1.0.
+_OCCUPANCY_SATURATION_EDGES = 1 << 16
+_MIN_OCCUPANCY_FRACTION = 0.05
+
+
+class KernelModel:
+    """Analytic kernel/CPU time model for one hardware configuration."""
+
+    def __init__(self, config: HardwareConfig):
+        self.config = config
+
+    def occupancy(self, active_edges: int) -> float:
+        """Fraction of peak edge throughput achievable for this frontier size."""
+        if active_edges >= _OCCUPANCY_SATURATION_EDGES:
+            return 1.0
+        fraction = active_edges / _OCCUPANCY_SATURATION_EDGES
+        return _MIN_OCCUPANCY_FRACTION + (1.0 - _MIN_OCCUPANCY_FRACTION) * fraction
+
+    def kernel_time(self, active_edges: int, num_kernels: int = 1) -> float:
+        """Seconds of GPU time to process ``active_edges`` edges.
+
+        ``num_kernels`` separate launches each pay the launch overhead —
+        the quantity the task combiner reduces.
+        """
+        if active_edges <= 0 and num_kernels <= 0:
+            return 0.0
+        launch = max(num_kernels, 1) * self.config.gpu_kernel_launch_overhead
+        if active_edges <= 0:
+            return launch
+        effective = self.config.gpu_edge_throughput * self.occupancy(active_edges)
+        return launch + active_edges / effective
+
+    def device_scan_time(self, num_items: int) -> float:
+        """Seconds for a device-side scan/reduction over ``num_items`` items.
+
+        Used to price the on-GPU cost analysis + engine selection of
+        Algorithm 1 (lines 2-13), which the paper runs on the GPU so only
+        the selection result crosses PCIe.
+        """
+        if num_items <= 0:
+            return 0.0
+        bytes_touched = num_items * 3 * self.config.vertex_value_bytes
+        return self.config.gpu_kernel_launch_overhead + bytes_touched / self.config.gpu_memory_bandwidth
+
+    def cpu_processing_time(self, active_edges: int) -> float:
+        """Seconds for the CPU-only baseline to process ``active_edges`` edges."""
+        if active_edges <= 0:
+            return 0.0
+        return active_edges / self.config.cpu_edge_throughput

@@ -1,0 +1,91 @@
+"""Shared machinery of the simulated graph processing systems."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.algorithms.base import ProgramState, VertexProgram
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import Partitioning, partition_by_bytes, partition_by_count
+from repro.metrics.results import RunResult
+from repro.sim.config import HardwareConfig, default_config
+from repro.sim.kernel import KernelModel
+from repro.sim.pcie import PCIeModel
+from repro.sim.streams import StreamScheduler
+
+__all__ = ["GraphSystem"]
+
+# Same scaled default as the HyTGraph engine: roughly 64 edge-balanced
+# partitions regardless of the (scaled-down) graph size.
+DEFAULT_PARTITION_DIVISOR = 64
+DEFAULT_MAX_ITERATIONS = 10_000
+
+
+class GraphSystem(ABC):
+    """Base class: one system bound to one graph and one hardware config.
+
+    Subclasses implement :meth:`run`; the base class provides the graph
+    partitioning, the cost models and the bookkeeping every system shares.
+    """
+
+    #: Display name used in result tables.
+    name: str = "system"
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        config: HardwareConfig | None = None,
+        num_partitions: int | None = None,
+        partition_bytes: int | None = None,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    ):
+        self.graph = graph
+        self.config = config or default_config()
+        self.max_iterations = max_iterations
+        self.partitioning = self._build_partitioning(num_partitions, partition_bytes)
+        self.kernel_model = KernelModel(self.config)
+        self.pcie = PCIeModel(self.config)
+        self.stream_scheduler = StreamScheduler(self.config)
+
+    def _build_partitioning(
+        self, num_partitions: int | None, partition_bytes: int | None
+    ) -> Partitioning:
+        if num_partitions is not None:
+            return partition_by_count(self.graph, num_partitions)
+        if partition_bytes is not None:
+            return partition_by_bytes(self.graph, partition_bytes)
+        target_bytes = max(
+            self.graph.edge_bytes_per_edge,
+            self.graph.edge_data_bytes // DEFAULT_PARTITION_DIVISOR,
+        )
+        return partition_by_bytes(self.graph, target_bytes)
+
+    # ------------------------------------------------------------------
+    # Shared run helpers
+    # ------------------------------------------------------------------
+    def _init_run(
+        self, program: VertexProgram, source: int | None
+    ) -> tuple[ProgramState, np.ndarray, RunResult]:
+        """Initialise program state, the pending frontier mask and the result record."""
+        program.check_graph(self.graph)
+        source = program.validate_source(self.graph, source)
+        state = program.create_state(self.graph, source)
+        frontier = program.initial_frontier(self.graph, state, source)
+        result = RunResult(system=self.name, algorithm=program.name, graph_name=self.graph.name)
+        return state, frontier.mask.copy(), result
+
+    def _finish_run(self, result: RunResult, program: VertexProgram, state: ProgramState, pending: np.ndarray) -> RunResult:
+        result.converged = not pending.any()
+        result.values = program.vertex_result(state)
+        return result
+
+    def _active_edge_count(self, active_vertices: np.ndarray) -> int:
+        if active_vertices.size == 0:
+            return 0
+        return int(self.graph.out_degrees[active_vertices].sum())
+
+    @abstractmethod
+    def run(self, program: VertexProgram, source: int | None = None) -> RunResult:
+        """Execute ``program`` to convergence on this system."""

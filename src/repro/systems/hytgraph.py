@@ -1,0 +1,53 @@
+"""HyTGraph wrapped in the common :class:`GraphSystem` interface.
+
+The actual runtime lives in :mod:`repro.core.engine`; this wrapper exists
+so the benchmark harness can instantiate the paper's system exactly like
+the baselines and collect identical :class:`~repro.metrics.results.RunResult`
+records.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import VertexProgram
+from repro.core.engine import HyTGraphEngine, HyTGraphOptions
+from repro.graph.csr import CSRGraph
+from repro.metrics.results import RunResult
+from repro.sim.config import HardwareConfig
+from repro.systems.base import GraphSystem
+
+__all__ = ["HyTGraphSystem"]
+
+
+class HyTGraphSystem(GraphSystem):
+    """The paper's hybrid-transfer-management system."""
+
+    name = "HyTGraph"
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        config: HardwareConfig | None = None,
+        options: HyTGraphOptions | None = None,
+        num_partitions: int | None = None,
+        partition_bytes: int | None = None,
+        max_iterations: int = 10_000,
+    ):
+        super().__init__(
+            graph,
+            config=config,
+            num_partitions=num_partitions,
+            partition_bytes=partition_bytes,
+            max_iterations=max_iterations,
+        )
+        self.options = options or HyTGraphOptions()
+        if num_partitions is not None:
+            self.options.num_partitions = num_partitions
+        if partition_bytes is not None:
+            self.options.partition_bytes = partition_bytes
+        self.options.max_iterations = max_iterations
+        self.engine = HyTGraphEngine(graph, config=self.config, options=self.options)
+
+    def run(self, program: VertexProgram, source: int | None = None) -> RunResult:
+        result = self.engine.run(program, source=source)
+        result.system = self.name
+        return result

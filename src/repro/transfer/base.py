@@ -1,0 +1,87 @@
+"""Common interface of the transfer engines."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import EdgePartition
+from repro.sim.config import HardwareConfig
+from repro.sim.pcie import PCIeModel
+
+__all__ = ["EngineKind", "TransferOutcome", "TransferEngine"]
+
+
+class EngineKind(str, Enum):
+    """The transfer management approaches of Table III."""
+
+    EXP_FILTER = "ExpTM-F"
+    EXP_COMPACTION = "ExpTM-C"
+    IMP_ZERO_COPY = "ImpTM-ZC"
+    IMP_UNIFIED_MEMORY = "ImpTM-UM"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class TransferOutcome:
+    """What one engine invocation moved and what it cost.
+
+    Attributes
+    ----------
+    engine:
+        Which engine produced the outcome.
+    bytes_transferred:
+        Useful edge-data bytes that crossed PCIe (the Table VI volume).
+    transfer_time:
+        Seconds of PCIe occupancy.
+    cpu_time:
+        Seconds of host-CPU work (compaction only).
+    overlapped:
+        Whether the transfer overlaps the kernel on the GPU (implicit
+        engines) or precedes it (explicit engines).
+    detail:
+        Engine-specific extras (TLP counts, page faults, ...), used by the
+        analysis figures and tests.
+    """
+
+    engine: EngineKind
+    bytes_transferred: int
+    transfer_time: float
+    cpu_time: float = 0.0
+    overlapped: bool = False
+    detail: dict[str, float] = field(default_factory=dict)
+
+
+class TransferEngine(ABC):
+    """Base class: one engine bound to one graph and one hardware config."""
+
+    kind: EngineKind
+
+    def __init__(self, graph: CSRGraph, config: HardwareConfig):
+        self.graph = graph
+        self.config = config
+        self.pcie = PCIeModel(config)
+
+    @abstractmethod
+    def transfer(self, partition: EdgePartition, active_vertices: np.ndarray) -> TransferOutcome:
+        """Move the active subgraph of ``partition`` to the GPU.
+
+        ``active_vertices`` are the active vertex ids whose adjacency
+        lists live in ``partition`` (callers guarantee containment).
+        """
+
+    def reset(self) -> None:
+        """Clear any cross-iteration state (page caches); default no-op."""
+
+    def _active_degrees(self, active_vertices: np.ndarray) -> np.ndarray:
+        return self.graph.out_degrees[np.asarray(active_vertices, dtype=np.int64)]
+
+    def _edge_start_bytes(self, active_vertices: np.ndarray) -> np.ndarray:
+        starts = self.graph.row_offset[np.asarray(active_vertices, dtype=np.int64)]
+        return starts * self.graph.edge_bytes_per_edge

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import power_law_graph, random_weights, rmat_graph, uniform_random_graph
+from repro.sim.config import HardwareConfig
+
+
+@pytest.fixture
+def paper_graph() -> CSRGraph:
+    """The 6-vertex weighted example of Figure 1 (vertices a..f -> 0..5).
+
+    CSR row_offset = [0, 2, 4, 6, 8, 9, 10], neighbors and weights as in
+    the figure; shortest distances from ``a`` are [0, 2, 4, 3, 4, 6].
+    """
+    edges = [
+        (0, 1, 2.0),  # a -> b
+        (0, 2, 6.0),  # a -> c
+        (1, 2, 2.0),  # b -> c
+        (1, 3, 1.0),  # b -> d
+        (2, 3, 2.0),  # c -> d
+        (2, 4, 1.0),  # c -> e
+        (3, 4, 1.0),  # d -> e
+        (3, 5, 4.0),  # d -> f
+        (4, 5, 2.0),  # e -> f
+        (5, 0, 3.0),  # f -> a
+    ]
+    pairs = [(src, dst) for src, dst, _ in edges]
+    weights = [weight for _, _, weight in edges]
+    return CSRGraph.from_edges(pairs, num_vertices=6, weights=weights, name="figure1")
+
+
+@pytest.fixture
+def small_random_graph() -> CSRGraph:
+    """A small weighted uniform random graph used across unit tests."""
+    return uniform_random_graph(60, 400, seed=3, weighted=True, name="small-random")
+
+
+@pytest.fixture
+def medium_power_law_graph() -> CSRGraph:
+    """A medium power-law graph (hubs + long tail) for system tests."""
+    graph = power_law_graph(400, 12.0, exponent=2.0, seed=11, name="medium-pl")
+    return graph.with_weights(random_weights(graph.num_edges, seed=12))
+
+
+@pytest.fixture
+def medium_rmat_graph() -> CSRGraph:
+    """A medium RMAT graph (web-like locality) for system tests."""
+    graph = rmat_graph(512, 6000, seed=21, name="medium-rmat")
+    return graph.with_weights(random_weights(graph.num_edges, seed=22))
+
+
+@pytest.fixture
+def config() -> HardwareConfig:
+    """Default 2080Ti-like configuration."""
+    return HardwareConfig()
+
+
+@pytest.fixture
+def tiny_memory_config() -> HardwareConfig:
+    """A configuration whose GPU memory holds almost nothing (forces eviction)."""
+    return HardwareConfig(gpu_memory_bytes=8 * 4096)
+
+
+def assert_distances_equal(actual: np.ndarray, expected: np.ndarray) -> None:
+    """Compare distance arrays treating inf (unreachable) consistently."""
+    actual = np.where(np.isinf(actual), -1.0, actual)
+    expected = np.where(np.isinf(expected), -1.0, expected)
+    np.testing.assert_allclose(actual, expected)

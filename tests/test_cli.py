@@ -1,0 +1,75 @@
+"""Unit tests for the ``repro-graph`` command-line interface."""
+
+import pytest
+
+from repro.cli import DEFAULT_COMPARE_SYSTEMS, build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.dataset == "SK"
+        assert args.algorithm == "sssp"
+        assert args.system == "hytgraph"
+
+    def test_invalid_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--system", "gunrock"])
+
+    def test_invalid_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--algorithm", "triangles"])
+
+    def test_compare_default_systems(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.systems == DEFAULT_COMPARE_SYSTEMS
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--dataset", "SK", "--scale", "0.05"]) == 0
+        output = capsys.readouterr().out
+        assert "SK" in output
+        assert "|E|" in output
+
+    def test_run_bfs(self, capsys):
+        code = main(["run", "--dataset", "TW", "--algorithm", "bfs", "--system", "emogi", "--scale", "0.05"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "EMOGI / BFS on TW" in output
+        assert "converged=True" in output
+
+    def test_run_with_iteration_table(self, capsys):
+        code = main(
+            ["run", "--dataset", "SK", "--algorithm", "bfs", "--system", "hytgraph", "--scale", "0.05", "--iterations"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Per-iteration detail" in output
+
+    def test_run_with_gpu_preset(self, capsys):
+        code = main(
+            ["run", "--dataset", "SK", "--algorithm", "bfs", "--system", "grus", "--scale", "0.05", "--gpu", "P100"]
+        )
+        assert code == 0
+        assert "Grus / BFS" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--dataset", "SK",
+                "--algorithm", "bfs",
+                "--systems", "emogi", "hytgraph",
+                "--scale", "0.05",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "EMOGI" in output
+        assert "HyTGraph" in output
+        assert "slowdown" in output

@@ -1,0 +1,99 @@
+"""Unit tests for the CPU compaction engine and the kernel time model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.compaction import CompactionEngine
+from repro.sim.config import HardwareConfig
+from repro.sim.kernel import KernelModel
+
+
+class TestCompactionContents:
+    def test_compacted_subgraph_matches_source(self, paper_graph, config):
+        engine = CompactionEngine(config)
+        active = np.array([1, 3])
+        result = engine.compact(paper_graph, active)
+        subgraph = result.subgraph
+        assert subgraph.num_vertices == 2
+        assert subgraph.num_edges == 4
+        np.testing.assert_array_equal(subgraph.vertices, active)
+        np.testing.assert_array_equal(subgraph.column_index[:2], paper_graph.neighbors(1))
+        np.testing.assert_array_equal(subgraph.column_index[2:], paper_graph.neighbors(3))
+        np.testing.assert_allclose(subgraph.edge_value[:2], paper_graph.edge_weights(1))
+
+    def test_compaction_unweighted(self, config):
+        from repro.graph.generators import uniform_random_graph
+
+        graph = uniform_random_graph(50, 300, seed=5)
+        engine = CompactionEngine(config)
+        result = engine.compact(graph, np.arange(0, 50, 2))
+        assert result.subgraph.edge_value is None
+        assert result.subgraph.num_edges == int(graph.out_degrees[::2].sum())
+
+    def test_empty_active_set(self, paper_graph, config):
+        engine = CompactionEngine(config)
+        result = engine.compact(paper_graph, np.array([], dtype=np.int64))
+        assert result.subgraph.num_edges == 0
+        assert result.output_bytes == 0
+        assert result.cpu_time == 0.0
+
+
+class TestCompactionCost:
+    def test_output_bytes_formula(self, config):
+        engine = CompactionEngine(config)
+        # Unweighted: edges * d1 + vertices * d2.
+        assert engine.output_bytes(100, 10, weighted=False) == 100 * 4 + 10 * config.index_entry_bytes
+        # Weighted: edges carry neighbor + weight.
+        assert engine.output_bytes(100, 10, weighted=True) == 100 * 8 + 10 * config.index_entry_bytes
+
+    def test_cpu_time_scales_with_bytes(self, config):
+        engine = CompactionEngine(config)
+        assert engine.cpu_time(config.cpu_compaction_throughput) == pytest.approx(1.0)
+        assert engine.cpu_time(0) == 0.0
+
+    def test_compaction_slower_than_pcie(self, config):
+        # The paper's premise: compaction throughput is well below the PCIe
+        # explicit-copy bandwidth, otherwise it would always be worth it.
+        assert config.cpu_compaction_throughput < config.pcie_bandwidth
+
+
+class TestKernelModel:
+    def test_zero_work(self, config):
+        model = KernelModel(config)
+        assert model.kernel_time(0, num_kernels=0) == 0.0
+
+    def test_launch_overhead_only(self, config):
+        model = KernelModel(config)
+        assert model.kernel_time(0, num_kernels=3) == pytest.approx(3 * config.gpu_kernel_launch_overhead)
+
+    def test_monotonic_in_edges(self, config):
+        model = KernelModel(config)
+        times = [model.kernel_time(edges) for edges in (10, 1000, 100000, 10_000_000)]
+        assert all(earlier < later for earlier, later in zip(times, times[1:]))
+
+    def test_more_kernels_cost_more(self, config):
+        model = KernelModel(config)
+        assert model.kernel_time(1000, num_kernels=4) > model.kernel_time(1000, num_kernels=1)
+
+    def test_occupancy_saturates(self, config):
+        model = KernelModel(config)
+        assert model.occupancy(1 << 20) == 1.0
+        assert 0.0 < model.occupancy(10) < 1.0
+
+    def test_large_kernel_matches_peak_throughput(self, config):
+        model = KernelModel(config)
+        edges = 1 << 26
+        assert model.kernel_time(edges) == pytest.approx(edges / config.gpu_edge_throughput, rel=0.01)
+
+    def test_gpu_much_faster_than_cpu(self, config):
+        model = KernelModel(config)
+        edges = 1 << 22
+        assert model.cpu_processing_time(edges) > 10 * model.kernel_time(edges)
+
+    def test_cpu_zero_edges(self, config):
+        assert KernelModel(config).cpu_processing_time(0) == 0.0
+
+    def test_device_scan_time_positive(self, config):
+        model = KernelModel(config)
+        assert model.device_scan_time(0) == 0.0
+        assert model.device_scan_time(256) > 0.0

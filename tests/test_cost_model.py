@@ -1,0 +1,143 @@
+"""Unit tests for the Formula 1-3 cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import CostModel
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import partition_by_count
+from repro.sim.config import HardwareConfig
+
+
+@pytest.fixture
+def graph(medium_power_law_graph):
+    return medium_power_law_graph
+
+
+@pytest.fixture
+def partitioning(graph):
+    return partition_by_count(graph, 8)
+
+
+@pytest.fixture
+def cost_model(graph, partitioning, config):
+    return CostModel(graph, partitioning, config)
+
+
+class TestFilterCost:
+    def test_formula_1_by_hand(self, graph, partitioning, cost_model, config):
+        partition = partitioning[0]
+        num_bytes = partition.num_edges * graph.edge_bytes_per_edge
+        expected_tlps = int(np.ceil(num_bytes / config.tlp_payload_bytes))
+        assert cost_model.filter_cost(0) == pytest.approx(expected_tlps * config.tlp_round_trip_time)
+
+    def test_independent_of_activeness(self, cost_model, graph, partitioning):
+        mask_few = np.zeros(graph.num_vertices, dtype=bool)
+        mask_few[partitioning[0].vertex_start] = True
+        mask_many = np.zeros(graph.num_vertices, dtype=bool)
+        mask_many[partitioning[0].vertex_start : partitioning[0].vertex_end] = True
+        few = cost_model.estimate(mask_few)
+        many = cost_model.estimate(mask_many)
+        if few.active_edges[0] > 0 and many.active_edges[0] > 0:
+            assert few.filter_cost[0] == pytest.approx(many.filter_cost[0])
+
+
+class TestCompactionCost:
+    def test_formula_2_transfer_term(self, cost_model, config, graph):
+        active_edges, active_vertices = 1000, 50
+        num_bytes = active_edges * graph.edge_bytes_per_edge + active_vertices * config.index_entry_bytes
+        expected_tlps = int(np.ceil(num_bytes / config.tlp_payload_bytes))
+        assert cost_model.compaction_cost(active_edges, active_vertices) == pytest.approx(
+            expected_tlps * config.tlp_round_trip_time
+        )
+
+    def test_grows_with_active_edges(self, cost_model):
+        assert cost_model.compaction_cost(200_000, 10) > cost_model.compaction_cost(1_000, 10)
+
+
+class TestZeroCopyCost:
+    def test_zero_for_empty(self, cost_model):
+        assert cost_model.zero_copy_cost(np.array([], dtype=np.int64), 0) == 0.0
+
+    def test_low_degree_actives_cost_more_than_high_degree(self, config):
+        # The Figure 4 example: same active edge count, different active
+        # vertex counts -> different zero-copy cost.
+        adjacency = {}
+        vertex = 0
+        # 6 vertices with ~10 neighbors each vs 2 vertices with 30 each.
+        for _ in range(6):
+            adjacency[vertex] = [(vertex + offset) % 100 + 40 for offset in range(10)]
+            vertex += 1
+        for _ in range(2):
+            adjacency[vertex] = [(vertex + offset) % 100 + 40 for offset in range(30)]
+            vertex += 1
+        graph = CSRGraph.from_adjacency(adjacency, num_vertices=140)
+        partitioning = partition_by_count(graph, 1)
+        model = CostModel(graph, partitioning, config)
+        many_vertices = model.zero_copy_cost(np.arange(0, 6), 0)
+        few_vertices = model.zero_copy_cost(np.arange(6, 8), 0)
+        assert many_vertices >= few_vertices
+
+
+class TestEstimate:
+    def test_shapes(self, cost_model, graph, partitioning):
+        mask = np.zeros(graph.num_vertices, dtype=bool)
+        mask[::3] = True
+        costs = cost_model.estimate(mask)
+        assert costs.num_partitions == partitioning.num_partitions
+        for array in (costs.filter_cost, costs.compaction_cost, costs.zero_copy_cost):
+            assert array.shape == (partitioning.num_partitions,)
+            assert np.all(array >= 0)
+
+    def test_inactive_partitions_cost_nothing(self, cost_model, graph, partitioning):
+        mask = np.zeros(graph.num_vertices, dtype=bool)
+        partition = partitioning[2]
+        mask[partition.vertex_start : partition.vertex_end] = True
+        costs = cost_model.estimate(mask)
+        for index in range(partitioning.num_partitions):
+            if index != 2 and costs.active_edges[index] == 0:
+                assert costs.filter_cost[index] == 0.0
+                assert costs.compaction_cost[index] == 0.0
+                assert costs.zero_copy_cost[index] == 0.0
+
+    def test_active_partitions_helper(self, cost_model, graph, partitioning):
+        mask = np.zeros(graph.num_vertices, dtype=bool)
+        partition = partitioning[1]
+        vertices = np.arange(partition.vertex_start, partition.vertex_end)
+        vertices = vertices[graph.out_degrees[vertices] > 0]
+        mask[vertices] = True
+        costs = cost_model.estimate(mask)
+        assert 1 in costs.active_partitions()
+
+    def test_all_active_compaction_near_filter(self, cost_model, graph):
+        # With every edge active, compaction saves nothing: its transfer
+        # term is at least the filter cost (plus the index array).
+        mask = np.ones(graph.num_vertices, dtype=bool)
+        costs = cost_model.estimate(mask)
+        active = costs.active_partitions()
+        assert np.all(costs.compaction_cost[active] >= costs.filter_cost[active] * 0.99)
+
+    def test_sparse_active_compaction_cheaper_than_filter(self, cost_model, graph):
+        mask = np.zeros(graph.num_vertices, dtype=bool)
+        mask[::50] = True
+        costs = cost_model.estimate(mask)
+        active = costs.active_partitions()
+        assert np.all(costs.compaction_cost[active] <= costs.filter_cost[active] + 1e-12)
+
+    def test_zero_copy_cheaper_than_filter_when_sparse(self, cost_model, graph):
+        mask = np.zeros(graph.num_vertices, dtype=bool)
+        mask[::97] = True
+        costs = cost_model.estimate(mask)
+        active = costs.active_partitions()
+        # With a handful of active vertices per partition, on-demand access
+        # beats shipping whole partitions.
+        assert costs.zero_copy_cost[active].sum() < costs.filter_cost[active].sum()
+
+    def test_per_partition_zero_copy_matches_single_method(self, cost_model, graph, partitioning):
+        mask = np.zeros(graph.num_vertices, dtype=bool)
+        partition = partitioning[3]
+        vertices = np.arange(partition.vertex_start, partition.vertex_end, 4)
+        mask[vertices] = True
+        costs = cost_model.estimate(mask)
+        direct = cost_model.zero_copy_cost(vertices, 3)
+        assert costs.zero_copy_cost[3] == pytest.approx(direct, rel=1e-9)

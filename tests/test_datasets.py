@@ -1,0 +1,65 @@
+"""Unit tests for the Table IV dataset stand-ins."""
+
+import pytest
+
+from repro.graph.datasets import DATASETS, DatasetSpec, dataset_names, load_dataset
+
+
+class TestSpecs:
+    def test_all_five_datasets_present(self):
+        assert set(dataset_names()) == {"SK", "TW", "FK", "UK", "FS"}
+
+    def test_specs_match_paper_kinds(self):
+        assert DATASETS["SK"].kind == "web"
+        assert DATASETS["UK"].kind == "web"
+        assert DATASETS["TW"].kind == "social"
+        assert DATASETS["FK"].kind == "social"
+        assert DATASETS["FS"].kind == "social"
+
+    def test_directedness(self):
+        assert DATASETS["SK"].directed
+        assert DATASETS["TW"].directed
+        assert DATASETS["UK"].directed
+        assert not DATASETS["FK"].directed
+        assert not DATASETS["FS"].directed
+
+    def test_approx_edges(self):
+        spec = DatasetSpec("X", "x", "web", 1000, 10.0, True, 1)
+        assert spec.approx_edges == 10000
+
+
+class TestLoading:
+    @pytest.mark.parametrize("name", ["SK", "TW", "FK", "UK", "FS"])
+    def test_load_small_scale(self, name):
+        graph = load_dataset(name, scale=0.05)
+        assert graph.num_vertices > 0
+        assert graph.num_edges > 0
+        assert graph.name == name
+
+    def test_aliases(self):
+        by_alias = load_dataset("sk-2005", scale=0.05)
+        by_name = load_dataset("SK", scale=0.05)
+        assert by_alias.num_edges == by_name.num_edges
+
+    def test_scale_changes_size(self):
+        small = load_dataset("TW", scale=0.05)
+        larger = load_dataset("TW", scale=0.1)
+        assert larger.num_vertices > small.num_vertices
+
+    def test_weighted(self):
+        graph = load_dataset("SK", scale=0.05, weighted=True)
+        assert graph.is_weighted
+
+    def test_deterministic(self):
+        first = load_dataset("FK", scale=0.05)
+        second = load_dataset("FK", scale=0.05)
+        assert first.num_edges == second.num_edges
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("not-a-dataset")
+
+    def test_web_graphs_keep_degree_skew(self):
+        graph = load_dataset("SK", scale=0.3)
+        degrees = graph.out_degrees
+        assert degrees.max() > 5 * degrees.mean()

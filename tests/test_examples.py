@@ -1,0 +1,42 @@
+"""Smoke tests: every example script runs end to end.
+
+The examples are user-facing documentation; these tests keep them from
+rotting.  Each example is executed in-process with its module-level
+``main()`` so failures surface as ordinary test failures.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = [
+    "quickstart.py",
+    "social_network_analysis.py",
+    "web_graph_ranking.py",
+    "transfer_management_study.py",
+]
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location("example_" + path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    output = capsys.readouterr().out
+    assert len(output) > 100, "example should print a report"
+
+
+def test_every_example_file_is_covered():
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES)

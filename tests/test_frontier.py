@@ -1,0 +1,120 @@
+"""Unit tests for the active-vertex frontier."""
+
+import numpy as np
+import pytest
+
+from repro.graph.frontier import Frontier
+
+
+class TestConstruction:
+    def test_empty(self):
+        frontier = Frontier(10)
+        assert frontier.count == 0
+        assert frontier.is_empty
+        assert frontier.num_vertices == 10
+
+    def test_from_vertex_list(self):
+        frontier = Frontier(10, [1, 3, 5])
+        assert frontier.count == 3
+        assert list(frontier.active_vertices()) == [1, 3, 5]
+
+    def test_from_boolean_mask(self):
+        mask = np.zeros(6, dtype=bool)
+        mask[2] = True
+        frontier = Frontier(6, mask)
+        assert frontier.count == 1
+        assert frontier.is_active(2)
+
+    def test_boolean_mask_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            Frontier(6, np.zeros(4, dtype=bool))
+
+    def test_all_active(self):
+        frontier = Frontier.all_active(7)
+        assert frontier.count == 7
+
+    def test_single(self):
+        frontier = Frontier.single(9, 4)
+        assert frontier.count == 1
+        assert 4 in frontier
+
+    def test_from_mask_copies(self):
+        mask = np.zeros(4, dtype=bool)
+        frontier = Frontier.from_mask(mask)
+        mask[0] = True
+        assert frontier.count == 0
+
+
+class TestQueries:
+    def test_active_edges(self):
+        frontier = Frontier(4, [0, 2])
+        out_degrees = np.array([5, 1, 7, 2])
+        assert frontier.active_edges(out_degrees) == 12
+
+    def test_len_and_contains(self):
+        frontier = Frontier(5, [1, 2])
+        assert len(frontier) == 2
+        assert 1 in frontier
+        assert 0 not in frontier
+
+
+class TestMutation:
+    def test_activate_deactivate(self):
+        frontier = Frontier(8)
+        frontier.activate([1, 2, 3])
+        assert frontier.count == 3
+        frontier.deactivate([2])
+        assert frontier.count == 2
+        assert not frontier.is_active(2)
+
+    def test_activate_with_array(self):
+        frontier = Frontier(8)
+        frontier.activate(np.array([6, 7]))
+        assert frontier.count == 2
+
+    def test_activate_empty_is_noop(self):
+        frontier = Frontier(8)
+        frontier.activate([])
+        assert frontier.count == 0
+
+    def test_clear(self):
+        frontier = Frontier.all_active(5)
+        frontier.clear()
+        assert frontier.is_empty
+
+    def test_clear_range(self):
+        frontier = Frontier.all_active(10)
+        frontier.clear_range(2, 5)
+        assert frontier.count == 7
+        assert not frontier.is_active(3)
+        assert frontier.is_active(5)
+
+
+class TestSetAlgebra:
+    def test_union_intersection_difference(self):
+        left = Frontier(6, [0, 1, 2])
+        right = Frontier(6, [2, 3])
+        assert set(left.union(right).active_vertices()) == {0, 1, 2, 3}
+        assert set(left.intersection(right).active_vertices()) == {2}
+        assert set(left.difference(right).active_vertices()) == {0, 1}
+
+    def test_operands_unchanged(self):
+        left = Frontier(6, [0, 1])
+        right = Frontier(6, [1, 2])
+        left.union(right)
+        assert left.count == 2
+        assert right.count == 2
+
+    def test_incompatible_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Frontier(4).union(Frontier(5))
+
+    def test_copy_and_equality(self):
+        frontier = Frontier(6, [1, 4])
+        duplicate = frontier.copy()
+        assert duplicate == frontier
+        duplicate.activate([2])
+        assert duplicate != frontier
+
+    def test_equality_with_other_type(self):
+        assert Frontier(3) != "frontier"

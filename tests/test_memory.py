@@ -1,0 +1,121 @@
+"""Unit tests for device memory accounting and the UM page cache."""
+
+import numpy as np
+import pytest
+
+from repro.sim.memory import DeviceMemory, PageCache
+
+
+class TestDeviceMemory:
+    def test_allocate_and_free(self):
+        memory = DeviceMemory(1000)
+        memory.allocate("vertex-data", 400)
+        assert memory.used_bytes == 400
+        assert memory.free_bytes == 600
+        memory.free("vertex-data")
+        assert memory.used_bytes == 0
+
+    def test_oversubscription_raises(self):
+        memory = DeviceMemory(100)
+        with pytest.raises(MemoryError):
+            memory.allocate("edges", 200)
+
+    def test_duplicate_label_rejected(self):
+        memory = DeviceMemory(100)
+        memory.allocate("a", 10)
+        with pytest.raises(ValueError):
+            memory.allocate("a", 10)
+
+    def test_free_unknown_label(self):
+        with pytest.raises(KeyError):
+            DeviceMemory(10).free("missing")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceMemory(-1)
+        with pytest.raises(ValueError):
+            DeviceMemory(10).allocate("x", -5)
+
+    def test_can_fit_and_contains(self):
+        memory = DeviceMemory(100)
+        memory.allocate("a", 60)
+        assert memory.can_fit(40)
+        assert not memory.can_fit(41)
+        assert "a" in memory
+        assert memory.allocation("a") == 60
+
+
+class TestPageCache:
+    def test_cold_accesses_fault(self):
+        cache = PageCache(capacity_pages=10)
+        result = cache.access(np.array([1, 2, 3]))
+        assert result.faults == 3
+        assert result.hits == 0
+        assert cache.resident_pages == 3
+
+    def test_warm_accesses_hit(self):
+        cache = PageCache(capacity_pages=10)
+        cache.access(np.array([1, 2, 3]))
+        result = cache.access(np.array([1, 2, 3]))
+        assert result.hits == 3
+        assert result.faults == 0
+
+    def test_lru_eviction_order(self):
+        cache = PageCache(capacity_pages=2)
+        cache.access(np.array([1, 2]))
+        cache.access(np.array([1]))  # 2 becomes least recently used
+        result = cache.access(np.array([3]))
+        assert result.evictions == 1
+        assert cache.is_resident(1)
+        assert cache.is_resident(3)
+        assert not cache.is_resident(2)
+
+    def test_working_set_larger_than_cache_thrashes(self):
+        # Cyclic access over a working set one page larger than the cache
+        # gives zero hits under LRU — the unified-memory pathology on
+        # graphs that almost fit (Section VII-B2).
+        cache = PageCache(capacity_pages=4)
+        pages = np.arange(5)
+        cache.access(pages)
+        for _ in range(3):
+            result = cache.access(pages)
+            assert result.hits == 0
+            assert result.faults == 5
+
+    def test_zero_capacity_never_caches(self):
+        cache = PageCache(capacity_pages=0)
+        result = cache.access(np.array([1, 2]))
+        assert result.faults == 2
+        assert cache.resident_pages == 0
+
+    def test_pin_stops_when_full(self):
+        cache = PageCache(capacity_pages=3)
+        inserted = cache.pin(np.arange(10))
+        assert inserted == 3
+        assert cache.resident_pages == 3
+        # Pinned pages do not count as faults.
+        assert cache.stats.faults == 0
+
+    def test_pin_skips_resident(self):
+        cache = PageCache(capacity_pages=5)
+        cache.access(np.array([1]))
+        assert cache.pin(np.array([1, 2])) == 1
+
+    def test_clear(self):
+        cache = PageCache(capacity_pages=5)
+        cache.access(np.array([1, 2]))
+        cache.clear()
+        assert cache.resident_pages == 0
+
+    def test_stats_accumulate(self):
+        cache = PageCache(capacity_pages=2)
+        cache.access(np.array([1, 2]))
+        cache.access(np.array([1, 3]))
+        assert cache.stats.accesses == 4
+        assert cache.stats.hits == 1
+        assert cache.stats.faults == 3
+        assert cache.stats.hit_rate == pytest.approx(0.25)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PageCache(-1)

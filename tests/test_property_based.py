@@ -1,0 +1,229 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import reference
+from repro.algorithms.sssp import SSSP
+from repro.core.cost_model import CostModel
+from repro.core.selection import EngineSelector
+from repro.graph.csr import CSRGraph
+from repro.graph.frontier import Frontier
+from repro.graph.partition import partition_by_bytes, partition_by_count
+from repro.graph.reorder import hub_sort, hub_sort_order
+from repro.sim.config import HardwareConfig
+from repro.sim.pcie import PCIeModel
+from repro.sim.streams import StreamScheduler, StreamTask
+
+from tests.conftest import assert_distances_equal
+
+COMMON_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def edge_lists(draw, max_vertices=40, max_edges=200):
+    """Random (num_vertices, edges, weights) triples."""
+    num_vertices = draw(st.integers(min_value=1, max_value=max_vertices))
+    num_edges = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=num_vertices - 1),
+                st.integers(min_value=0, max_value=num_vertices - 1),
+            ),
+            min_size=num_edges,
+            max_size=num_edges,
+        )
+    )
+    weights = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=16),
+            min_size=len(edges),
+            max_size=len(edges),
+        )
+    )
+    return num_vertices, edges, [float(w) for w in weights]
+
+
+@COMMON_SETTINGS
+@given(edge_lists())
+def test_csr_from_edges_invariants(data):
+    num_vertices, edges, weights = data
+    graph = CSRGraph.from_edges(edges, num_vertices=num_vertices, weights=weights)
+    # Row offsets are monotone, cover all edges, and degrees sum to |E|.
+    assert graph.row_offset[0] == 0
+    assert graph.row_offset[-1] == graph.num_edges == len(edges)
+    assert np.all(np.diff(graph.row_offset) >= 0)
+    assert graph.out_degrees.sum() == graph.num_edges
+    assert graph.in_degrees.sum() == graph.num_edges
+    # Every (src, dst) pair survives with its multiplicity.
+    rebuilt = sorted((src, dst) for src, dst, _ in graph.iter_edges())
+    assert rebuilt == sorted((int(s), int(d)) for s, d in edges)
+
+
+@COMMON_SETTINGS
+@given(edge_lists())
+def test_reverse_is_involution(data):
+    num_vertices, edges, _ = data
+    graph = CSRGraph.from_edges(edges, num_vertices=num_vertices)
+    double_reversed = graph.reverse().reverse()
+    np.testing.assert_array_equal(double_reversed.row_offset, graph.row_offset)
+    np.testing.assert_array_equal(double_reversed.column_index, graph.column_index)
+
+
+@COMMON_SETTINGS
+@given(edge_lists(), st.integers(min_value=1, max_value=10))
+def test_partitioning_tiles_any_graph(data, num_partitions):
+    num_vertices, edges, _ = data
+    graph = CSRGraph.from_edges(edges, num_vertices=num_vertices)
+    partitioning = partition_by_count(graph, num_partitions)
+    assert partitioning.edges_per_partition().sum() == graph.num_edges
+    covered_vertices = sum(p.num_vertices for p in partitioning)
+    assert covered_vertices == graph.num_vertices
+    # Every vertex maps to the partition that contains it.
+    for vertex in range(graph.num_vertices):
+        partition = partitioning[partitioning.partition_of_vertex(vertex)]
+        assert partition.vertex_start <= vertex < partition.vertex_end
+
+
+@COMMON_SETTINGS
+@given(edge_lists(), st.integers(min_value=64, max_value=4096))
+def test_partition_by_bytes_tiles_any_graph(data, budget):
+    num_vertices, edges, weights = data
+    graph = CSRGraph.from_edges(edges, num_vertices=num_vertices, weights=weights)
+    partitioning = partition_by_bytes(graph, budget)
+    assert partitioning.bytes_per_partition().sum() == graph.edge_data_bytes
+
+
+@COMMON_SETTINGS
+@given(
+    st.integers(min_value=1, max_value=60),
+    st.lists(st.integers(min_value=0, max_value=59), max_size=30),
+    st.lists(st.integers(min_value=0, max_value=59), max_size=30),
+)
+def test_frontier_matches_python_sets(num_vertices, first, second):
+    first = [v for v in first if v < num_vertices]
+    second = [v for v in second if v < num_vertices]
+    left = Frontier(num_vertices, first)
+    right = Frontier(num_vertices, second)
+    assert set(left.union(right).active_vertices()) == set(first) | set(second)
+    assert set(left.intersection(right).active_vertices()) == set(first) & set(second)
+    assert set(left.difference(right).active_vertices()) == set(first) - set(second)
+    assert left.count == len(set(first))
+
+
+@COMMON_SETTINGS
+@given(edge_lists(), st.floats(min_value=0.0, max_value=1.0))
+def test_hub_sort_order_is_permutation(data, fraction):
+    num_vertices, edges, _ = data
+    graph = CSRGraph.from_edges(edges, num_vertices=num_vertices)
+    order = hub_sort_order(graph, fraction)
+    assert sorted(order.tolist()) == list(range(num_vertices))
+
+
+@COMMON_SETTINGS
+@given(edge_lists())
+def test_hub_sorted_sssp_matches_reference(data):
+    num_vertices, edges, weights = data
+    graph = CSRGraph.from_edges(edges, num_vertices=num_vertices, weights=weights)
+    reordered = hub_sort(graph, 0.1)
+    source = 0
+    internal = reordered.translate_to_new(source)
+    # Run SSSP synchronously on the relabelled graph and map back.
+    program = SSSP()
+    state = program.create_state(reordered.graph, internal)
+    pending = program.initial_frontier(reordered.graph, state, internal).mask.copy()
+    for _ in range(10_000):
+        active = np.nonzero(pending)[0]
+        if active.size == 0:
+            break
+        pending[active] = False
+        newly = program.process(reordered.graph, state, active)
+        if newly.size:
+            pending[newly] = True
+    restored = reordered.values_in_original_order(program.vertex_result(state))
+    assert_distances_equal(restored, reference.sssp_distances(graph, source))
+
+
+@COMMON_SETTINGS
+@given(
+    st.lists(st.integers(min_value=0, max_value=512), min_size=1, max_size=64),
+    st.integers(min_value=0, max_value=4096),
+)
+def test_zero_copy_requests_lower_bound(degrees, start):
+    config = HardwareConfig()
+    pcie = PCIeModel(config)
+    degrees = np.array(degrees, dtype=np.int64)
+    starts = np.full(degrees.size, start, dtype=np.int64)
+    requests = pcie.requests_for_vertices(degrees, starts)
+    minimum = np.ceil(degrees * config.vertex_value_bytes / config.pcie_request_bytes)
+    assert np.all(requests >= minimum)
+    # Misalignment adds at most one extra request per vertex.
+    assert np.all(requests <= minimum + 1)
+
+
+@COMMON_SETTINGS
+@given(st.integers(min_value=0, max_value=1 << 24))
+def test_explicit_copy_time_monotone(num_bytes):
+    pcie = PCIeModel(HardwareConfig())
+    smaller = pcie.explicit_copy_time(num_bytes)
+    larger = pcie.explicit_copy_time(num_bytes + 4096)
+    assert larger >= smaller
+
+
+@COMMON_SETTINGS
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=2.0),
+            st.floats(min_value=0.0, max_value=2.0),
+            st.floats(min_value=0.0, max_value=2.0),
+            st.booleans(),
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+    st.integers(min_value=1, max_value=6),
+)
+def test_stream_schedule_bounds(task_specs, num_streams):
+    scheduler = StreamScheduler(HardwareConfig())
+    tasks = [
+        StreamTask("t%d" % index, "ExpTM-F", cpu_time=cpu, transfer_time=transfer, kernel_time=kernel,
+                   overlapped_transfer=overlapped)
+        for index, (cpu, transfer, kernel, overlapped) in enumerate(task_specs)
+    ]
+    timeline = scheduler.schedule(tasks, num_streams=num_streams)
+    serial = scheduler.serial_time(tasks)
+    longest_task = max(task.serial_time for task in tasks)
+    assert timeline.makespan <= serial + 1e-9
+    assert timeline.makespan >= longest_task - 1e-9
+    # Resource busy time is conserved regardless of the schedule.
+    assert timeline.busy_time("cpu") == pytest.approx(sum(t.cpu_time for t in tasks))
+
+
+@COMMON_SETTINGS
+@given(edge_lists())
+def test_cost_model_non_negative_and_selection_total(data):
+    num_vertices, edges, weights = data
+    graph = CSRGraph.from_edges(edges, num_vertices=num_vertices, weights=weights)
+    partitioning = partition_by_count(graph, 4)
+    if partitioning.num_partitions == 0:
+        return
+    model = CostModel(graph, partitioning, HardwareConfig())
+    mask = np.zeros(num_vertices, dtype=bool)
+    mask[::2] = True
+    costs = model.estimate(mask)
+    assert np.all(costs.filter_cost >= 0)
+    assert np.all(costs.compaction_cost >= 0)
+    assert np.all(costs.zero_copy_cost >= 0)
+    selection = EngineSelector().select(costs)
+    # Every partition with active edges gets exactly one engine.
+    active = costs.active_partitions()
+    assert all(selection.choices[index] is not None for index in active)
+    assert sum(selection.counts().values()) == active.size

@@ -1,0 +1,185 @@
+"""Unit tests for engine selection (Algorithm 1) and task combination."""
+
+import numpy as np
+import pytest
+
+from repro.core.combiner import ScheduledTask, TaskCombiner
+from repro.core.cost_model import CostModel, PartitionCosts
+from repro.core.selection import EngineSelector, SelectionThresholds
+from repro.graph.partition import partition_by_count
+from repro.transfer.base import EngineKind
+
+
+def make_costs(filter_cost, compaction_cost, zero_copy_cost, active_edges=None):
+    filter_cost = np.asarray(filter_cost, dtype=float)
+    if active_edges is None:
+        active_edges = np.ones_like(filter_cost)
+    return PartitionCosts(
+        filter_cost=filter_cost,
+        compaction_cost=np.asarray(compaction_cost, dtype=float),
+        zero_copy_cost=np.asarray(zero_copy_cost, dtype=float),
+        active_vertices=np.ones_like(filter_cost, dtype=np.int64),
+        active_edges=np.asarray(active_edges, dtype=np.int64),
+    )
+
+
+class TestSelectionRule:
+    def test_compaction_when_both_conditions_hold(self):
+        selector = EngineSelector()
+        # Tec < 0.8*Tef and Tec < 0.4*Tiz.
+        assert selector.select_single(10.0, 5.0, 20.0) == EngineKind.EXP_COMPACTION
+
+    def test_zero_copy_when_cheaper_than_filter(self):
+        selector = EngineSelector()
+        # Compaction fails the beta condition, zero-copy beats filter.
+        assert selector.select_single(10.0, 5.0, 6.0) == EngineKind.IMP_ZERO_COPY
+
+    def test_filter_when_everything_is_active(self):
+        selector = EngineSelector()
+        # Dense partition: compaction ~ filter, zero-copy worse than filter.
+        assert selector.select_single(10.0, 10.5, 15.0) == EngineKind.EXP_FILTER
+
+    def test_alpha_boundary(self):
+        selector = EngineSelector(SelectionThresholds(alpha=0.8, beta=0.4))
+        # Tec exactly at alpha*Tef fails the strict inequality.
+        assert selector.select_single(10.0, 8.0, 100.0) != EngineKind.EXP_COMPACTION
+
+    def test_beta_boundary(self):
+        selector = EngineSelector(SelectionThresholds(alpha=0.8, beta=0.4))
+        # Tec exactly at beta*Tiz fails the strict inequality.
+        assert selector.select_single(100.0, 4.0, 10.0) != EngineKind.EXP_COMPACTION
+
+    def test_inactive_partition_gets_none(self):
+        selector = EngineSelector()
+        costs = make_costs([1.0, 1.0], [0.5, 0.5], [2.0, 2.0], active_edges=[0, 5])
+        result = selector.select(costs)
+        assert result.choices[0] is None
+        assert result.choices[1] is not None
+
+    def test_counts(self):
+        selector = EngineSelector()
+        costs = make_costs([10, 10, 10], [5, 9.9, 20], [20, 5, 15])
+        result = selector.select(costs)
+        counts = result.counts()
+        assert sum(counts.values()) == 3
+
+    def test_partitions_using(self):
+        selector = EngineSelector()
+        costs = make_costs([10, 10], [5, 20], [20, 20])
+        result = selector.select(costs)
+        assert result.partitions_using(EngineKind.EXP_COMPACTION) == [0]
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            SelectionThresholds(alpha=0.0)
+        with pytest.raises(ValueError):
+            SelectionThresholds(beta=1.5)
+
+
+class TestSelectionOnRealCosts:
+    def test_dense_frontier_prefers_filter(self, medium_power_law_graph, config):
+        partitioning = partition_by_count(medium_power_law_graph, 8)
+        model = CostModel(medium_power_law_graph, partitioning, config)
+        costs = model.estimate(np.ones(medium_power_law_graph.num_vertices, dtype=bool))
+        result = EngineSelector().select(costs)
+        counts = result.counts()
+        assert counts.get(EngineKind.EXP_FILTER.value, 0) >= counts.get(EngineKind.EXP_COMPACTION.value, 0)
+
+    def test_sparse_frontier_avoids_filter(self, medium_power_law_graph, config):
+        partitioning = partition_by_count(medium_power_law_graph, 8)
+        model = CostModel(medium_power_law_graph, partitioning, config)
+        mask = np.zeros(medium_power_law_graph.num_vertices, dtype=bool)
+        mask[::79] = True
+        costs = model.estimate(mask)
+        result = EngineSelector().select(costs)
+        counts = result.counts()
+        assert counts.get(EngineKind.EXP_FILTER.value, 0) == 0
+
+
+class TestTaskCombiner:
+    def _selection(self, choices):
+        from repro.core.selection import SelectionResult
+
+        return SelectionResult(choices=choices)
+
+    def test_consecutive_filter_partitions_merge_up_to_k(self, medium_power_law_graph):
+        partitioning = partition_by_count(medium_power_law_graph, 8)
+        combiner = TaskCombiner(combine_factor=4)
+        choices = [EngineKind.EXP_FILTER] * 8
+        mask = np.ones(medium_power_law_graph.num_vertices, dtype=bool)
+        tasks = combiner.combine(partitioning, self._selection(choices), mask)
+        filter_tasks = [task for task in tasks if task.engine == EngineKind.EXP_FILTER]
+        assert len(filter_tasks) == 2
+        assert all(len(task.partition_indices) <= 4 for task in filter_tasks)
+        covered = sorted(index for task in filter_tasks for index in task.partition_indices)
+        assert covered == list(range(8))
+
+    def test_non_consecutive_filter_partitions_not_merged(self, medium_power_law_graph):
+        partitioning = partition_by_count(medium_power_law_graph, 8)
+        combiner = TaskCombiner(combine_factor=4)
+        choices = [
+            EngineKind.EXP_FILTER,
+            EngineKind.IMP_ZERO_COPY,
+            EngineKind.EXP_FILTER,
+            None,
+            EngineKind.EXP_FILTER,
+            EngineKind.EXP_FILTER,
+            None,
+            EngineKind.EXP_FILTER,
+        ]
+        mask = np.ones(medium_power_law_graph.num_vertices, dtype=bool)
+        tasks = combiner.combine(partitioning, self._selection(choices), mask)
+        filter_tasks = [task for task in tasks if task.engine == EngineKind.EXP_FILTER]
+        groups = [task.partition_indices for task in filter_tasks]
+        assert [0] in groups
+        assert [2] in groups
+        assert [4, 5] in groups
+        assert [7] in groups
+
+    def test_compaction_and_zero_copy_each_merge_into_one_task(self, medium_power_law_graph):
+        partitioning = partition_by_count(medium_power_law_graph, 8)
+        combiner = TaskCombiner()
+        choices = [
+            EngineKind.EXP_COMPACTION,
+            EngineKind.IMP_ZERO_COPY,
+            EngineKind.EXP_COMPACTION,
+            EngineKind.IMP_ZERO_COPY,
+            EngineKind.EXP_COMPACTION,
+            None,
+            None,
+            None,
+        ]
+        mask = np.ones(medium_power_law_graph.num_vertices, dtype=bool)
+        tasks = combiner.combine(partitioning, self._selection(choices), mask)
+        compaction_tasks = [task for task in tasks if task.engine == EngineKind.EXP_COMPACTION]
+        zero_copy_tasks = [task for task in tasks if task.engine == EngineKind.IMP_ZERO_COPY]
+        assert len(compaction_tasks) == 1
+        assert len(zero_copy_tasks) == 1
+        assert sorted(compaction_tasks[0].partition_indices) == [0, 2, 4]
+        assert sorted(zero_copy_tasks[0].partition_indices) == [1, 3]
+
+    def test_tasks_only_cover_active_vertices(self, medium_power_law_graph):
+        partitioning = partition_by_count(medium_power_law_graph, 4)
+        combiner = TaskCombiner()
+        choices = [EngineKind.IMP_ZERO_COPY] * 4
+        mask = np.zeros(medium_power_law_graph.num_vertices, dtype=bool)
+        mask[::5] = True
+        tasks = combiner.combine(partitioning, self._selection(choices), mask)
+        total_active = sum(task.num_active_vertices for task in tasks)
+        assert total_active == int(mask.sum())
+
+    def test_disabled_combiner_one_task_per_partition(self, medium_power_law_graph):
+        partitioning = partition_by_count(medium_power_law_graph, 8)
+        combiner = TaskCombiner(enabled=False)
+        choices = [EngineKind.EXP_FILTER] * 8
+        mask = np.ones(medium_power_law_graph.num_vertices, dtype=bool)
+        tasks = combiner.combine(partitioning, self._selection(choices), mask)
+        assert len(tasks) == 8
+
+    def test_invalid_combine_factor(self):
+        with pytest.raises(ValueError):
+            TaskCombiner(combine_factor=0)
+
+    def test_task_label_generated(self):
+        task = ScheduledTask(EngineKind.EXP_FILTER, [1, 2], np.array([5, 6]))
+        assert "ExpTM-F" in task.label
