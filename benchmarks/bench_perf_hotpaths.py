@@ -1,0 +1,557 @@
+"""Hot-path performance harness: kernel layer + engine fast paths.
+
+Measures the speedup delivered by the vectorised scatter-reduce kernel
+layer (:mod:`repro.core.kernels`) and the partition-local frontier fast
+paths in the HyTGraph engine, against a faithful reconstruction of the
+seed ("pre kernel-layer") implementation:
+
+* **Microbenchmarks** — ``scatter_add`` / ``scatter_min`` and the fused
+  ``push_and_activate`` against the original ``ufunc.at`` + snapshot +
+  ``np.unique`` formulations, on dense and sparse message batches; plus
+  the vectorised ``CSRGraph.edge_sources`` and ``partition_by_bytes``
+  against their seed per-vertex Python loops.
+* **End-to-end** — all five vertex programs (PR, SSSP, BFS, CC, PHP) on
+  generated R-MAT and uniform graphs, run through HyTGraph and two
+  baseline systems (EMOGI, Subway), once with the seed hot paths
+  restored (``seed_baseline``) and once with the current code.  Both
+  modes must produce bitwise-identical per-vertex results — the harness
+  asserts it.
+
+Results are written to ``BENCH_perf.json`` in the repository root so
+future PRs can track the perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py            # full run (~1M edges)
+    PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py --smoke    # tiny CI smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+
+import repro.algorithms.bfs as bfs_module
+import repro.algorithms.cc as cc_module
+import repro.algorithms.pagerank as pagerank_module
+import repro.algorithms.php as php_module
+import repro.algorithms.sssp as sssp_module
+from repro.algorithms.bfs import BFS
+from repro.algorithms.cc import ConnectedComponents
+from repro.algorithms.pagerank import DeltaPageRank
+from repro.algorithms.php import PHP
+from repro.algorithms.sssp import SSSP
+from repro.core.combiner import ScheduledTask, TaskCombiner
+from repro.core.cost_model import CostModel, PartitionCosts
+from repro.core.engine import HyTGraphEngine
+from repro.core.kernels import legacy_kernels, push_and_activate, scatter_add, scatter_min
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat_graph, uniform_random_graph
+from repro.graph.partition import partition_by_bytes
+from repro.metrics.results import IterationStats
+from repro.sim.streams import StreamTask
+from repro.systems.emogi import EmogiSystem
+from repro.systems.hytgraph import HyTGraphSystem
+from repro.systems.subway import SubwaySystem
+from repro.transfer.base import EngineKind
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_perf.json"
+
+# ----------------------------------------------------------------------
+# Faithful seed (pre-PR) implementations of the replaced hot paths.
+# These are verbatim copies of the seed code and exist only so the
+# harness can measure "before" timings; they must not be used elsewhere.
+# ----------------------------------------------------------------------
+
+
+def _seed_gather_edge_indices(graph, vertices):
+    vertices = np.asarray(vertices, dtype=np.int64)
+    if vertices.size == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    starts = graph.row_offset[vertices]
+    degrees = graph.row_offset[vertices + 1] - starts
+    total = int(degrees.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    repeats = np.repeat(np.arange(vertices.size), degrees)
+    cumulative = np.concatenate([[0], np.cumsum(degrees)])[:-1]
+    within = np.arange(total) - np.repeat(cumulative, degrees)
+    edge_indices = np.repeat(starts, degrees) + within
+    sources = vertices[repeats]
+    return edge_indices, sources
+
+
+def _seed_task_vertex_mask(self, task):
+    mask = np.zeros(self.graph.num_vertices, dtype=bool)
+    for index in task.partition_indices:
+        partition = self.partitioning[index]
+        mask[partition.vertex_start : partition.vertex_end] = True
+    return mask
+
+
+def _seed_execute_task(self, task, program, state, pending):
+    graph = self.graph
+    partition_mask = _seed_task_vertex_mask(self, task)
+    first_round = np.nonzero(pending & partition_mask)[0]
+    if first_round.size == 0:
+        return 0
+    pending[first_round] = False
+    processed_edges = int(graph.out_degrees[first_round].sum())
+    newly_active = program.process(graph, state, first_round)
+    if newly_active.size:
+        pending[newly_active] = True
+    if not self.options.recompute_loaded:
+        return processed_edges
+    if task.engine == EngineKind.EXP_FILTER:
+        loaded_mask = partition_mask
+    else:
+        loaded_mask = np.zeros(graph.num_vertices, dtype=bool)
+        loaded_mask[first_round] = True
+    second_round = np.nonzero(pending & loaded_mask)[0]
+    if second_round.size:
+        pending[second_round] = False
+        processed_edges += int(graph.out_degrees[second_round].sum())
+        newly_active = program.process(graph, state, second_round)
+        if newly_active.size:
+            pending[newly_active] = True
+    return processed_edges
+
+
+def _seed_account_transfer(self, task):
+    from repro.transfer.base import TransferOutcome
+
+    engine = self.engines[task.engine]
+    partitions = [self.partitioning[index] for index in task.partition_indices]
+    bytes_total = 0
+    transfer_time = 0.0
+    cpu_time = 0.0
+    overlapped = False
+    active = task.active_vertices
+    for partition in partitions:
+        in_partition = active[(active >= partition.vertex_start) & (active < partition.vertex_end)]
+        outcome = engine.transfer(partition, in_partition)
+        bytes_total += outcome.bytes_transferred
+        transfer_time += outcome.transfer_time
+        cpu_time += outcome.cpu_time
+        overlapped = overlapped or outcome.overlapped
+    return TransferOutcome(
+        engine=task.engine,
+        bytes_transferred=bytes_total,
+        transfer_time=transfer_time,
+        cpu_time=cpu_time,
+        overlapped=overlapped,
+    )
+
+
+def _seed_run_iteration(self, iteration, program, state, pending):
+    graph = self.graph
+    active_mask = pending.copy()
+    active_vertex_count = int(active_mask.sum())
+    active_edge_count = int(graph.out_degrees[active_mask].sum())
+
+    sinks = np.nonzero(pending & (graph.out_degrees == 0))[0]
+    if sinks.size:
+        pending[sinks] = False
+        program.process(graph, state, sinks)
+
+    costs = self.cost_model.estimate(active_mask)
+    selection = self.selector.select(costs)
+    tasks = self.combiner.combine(self.partitioning, selection, active_mask)
+    tasks = self.priority.prioritize(tasks, program, state)
+    generation_overhead = self.kernel_model.device_scan_time(self.partitioning.num_partitions)
+
+    stream_tasks = []
+    total_transfer_bytes = 0
+    total_processed_edges = 0
+    engine_task_counts = {}
+    for order, task in enumerate(tasks):
+        processed_edges = self._execute_task(task, program, state, pending)
+        outcome = self._account_transfer(task)
+        kernel_time = self.kernel_model.kernel_time(processed_edges, num_kernels=1)
+        stream_tasks.append(
+            StreamTask(
+                name=task.label,
+                engine=task.engine.value,
+                cpu_time=outcome.cpu_time,
+                transfer_time=outcome.transfer_time,
+                kernel_time=kernel_time,
+                overlapped_transfer=outcome.overlapped,
+                priority=float(order),
+            )
+        )
+        total_transfer_bytes += outcome.bytes_transferred
+        total_processed_edges += processed_edges
+        engine_task_counts[task.engine.value] = engine_task_counts.get(task.engine.value, 0) + 1
+
+    timeline = self.stream_scheduler.schedule(stream_tasks)
+    iteration_time = timeline.makespan + generation_overhead
+    return IterationStats(
+        index=iteration,
+        time=iteration_time,
+        active_vertices=active_vertex_count,
+        active_edges=active_edge_count,
+        transfer_bytes=total_transfer_bytes,
+        compaction_time=timeline.busy_time("cpu"),
+        transfer_time=timeline.busy_time("pcie"),
+        kernel_time=timeline.busy_time("gpu"),
+        processed_edges=total_processed_edges,
+        engine_partitions=selection.counts(),
+        engine_tasks=engine_task_counts,
+    )
+
+
+def _seed_combine(self, partitioning, selection, active_mask, active_ids=None):
+    active_mask = np.asarray(active_mask, dtype=bool)
+
+    def active_in(partition_index):
+        partition = partitioning[partition_index]
+        segment = active_mask[partition.vertex_start : partition.vertex_end]
+        return np.nonzero(segment)[0] + partition.vertex_start
+
+    def make_filter_task(partition_indices):
+        vertices = np.concatenate([active_in(index) for index in partition_indices])
+        return ScheduledTask(
+            engine=EngineKind.EXP_FILTER,
+            partition_indices=list(partition_indices),
+            active_vertices=np.sort(vertices),
+        )
+
+    if not self.enabled:
+        tasks = []
+        for index, choice in enumerate(selection.choices):
+            if choice is None:
+                continue
+            tasks.append(
+                ScheduledTask(engine=choice, partition_indices=[index], active_vertices=active_in(index))
+            )
+        return tasks
+
+    tasks = []
+    filter_partitions = selection.partitions_using(EngineKind.EXP_FILTER)
+    current = []
+    previous_index = None
+    for index in filter_partitions:
+        consecutive = previous_index is not None and index == previous_index + 1
+        if current and (not consecutive or len(current) >= self.combine_factor):
+            tasks.append(make_filter_task(current))
+            current = []
+        current.append(index)
+        previous_index = index
+    if current:
+        tasks.append(make_filter_task(current))
+
+    for engine, label in (
+        (EngineKind.EXP_COMPACTION, "ExpTM-C[combined:%d]"),
+        (EngineKind.IMP_ZERO_COPY, "ImpTM-ZC[combined:%d]"),
+    ):
+        members = selection.partitions_using(engine)
+        if members:
+            vertices = np.concatenate([active_in(index) for index in members])
+            tasks.append(
+                ScheduledTask(
+                    engine=engine,
+                    partition_indices=list(members),
+                    active_vertices=np.sort(vertices),
+                    label=label % len(members),
+                )
+            )
+    return tasks
+
+
+def _seed_estimate(self, active_mask, active_ids=None):
+    active_mask = np.asarray(active_mask, dtype=bool)
+    num_partitions = self.partitioning.num_partitions
+    active_vertices, active_edges = self.partitioning.active_counts(active_mask)
+
+    filter_cost = self._filter_cost_from_edges(self._partition_edges)
+    filter_cost = np.where(active_edges > 0, filter_cost, 0.0)
+    compaction_cost = self._compaction_cost_from_counts(active_edges, active_vertices)
+    compaction_cost = np.where(active_edges > 0, compaction_cost, 0.0)
+
+    zero_copy_cost = np.zeros(num_partitions, dtype=np.float64)
+    ids = np.nonzero(active_mask)[0]
+    if ids.size:
+        degrees = self.graph.out_degrees[ids]
+        starts = self.graph.row_offset[ids] * self._d1
+        requests = self.pcie.requests_for_vertices(degrees, starts, value_bytes=self._d1)
+        partition_of = self.partitioning.partition_of_vertices(ids)
+        requests_per_partition = np.bincount(partition_of, weights=requests, minlength=num_partitions)
+        tlps = np.ceil(requests_per_partition / self.config.pcie_max_outstanding)
+        partition_edges_safe = np.maximum(self._partition_edges, 1)
+        payload_fraction = np.clip(active_edges / partition_edges_safe, 0.0, 1.0)
+        gamma = self.config.zero_copy_gamma
+        rtt_zc = (gamma + (1.0 - gamma) * payload_fraction) * self.config.tlp_round_trip_time
+        zero_copy_cost = tlps * rtt_zc
+        zero_copy_cost = np.where(active_edges > 0, zero_copy_cost, 0.0)
+
+    return PartitionCosts(
+        filter_cost=filter_cost,
+        compaction_cost=compaction_cost,
+        zero_copy_cost=zero_copy_cost,
+        active_vertices=active_vertices,
+        active_edges=active_edges,
+    )
+
+
+_ALGORITHM_MODULES = (sssp_module, bfs_module, cc_module, pagerank_module, php_module)
+
+
+@contextmanager
+def seed_baseline():
+    """Restore every replaced hot path to its seed implementation.
+
+    Inside the context, algorithm scatters run through ``ufunc.at`` +
+    ``np.unique``, the engine allocates per-task ``|V|`` masks, the
+    combiner re-sorts task frontiers and the cost model rescans the
+    frontier bitmap — i.e. the code the seed repository shipped.
+    """
+    saved_engine = (
+        HyTGraphEngine._run_iteration,
+        HyTGraphEngine._execute_task,
+        HyTGraphEngine._account_transfer,
+    )
+    saved_combine = TaskCombiner.combine
+    saved_estimate = CostModel.estimate
+    saved_gather = [module.gather_edge_indices for module in _ALGORITHM_MODULES]
+    HyTGraphEngine._run_iteration = _seed_run_iteration
+    HyTGraphEngine._execute_task = _seed_execute_task
+    HyTGraphEngine._account_transfer = _seed_account_transfer
+    TaskCombiner.combine = _seed_combine
+    CostModel.estimate = _seed_estimate
+    for module in _ALGORITHM_MODULES:
+        module.gather_edge_indices = _seed_gather_edge_indices
+    try:
+        with legacy_kernels():
+            yield
+    finally:
+        (
+            HyTGraphEngine._run_iteration,
+            HyTGraphEngine._execute_task,
+            HyTGraphEngine._account_transfer,
+        ) = saved_engine
+        TaskCombiner.combine = saved_combine
+        CostModel.estimate = saved_estimate
+        for module, gather in zip(_ALGORITHM_MODULES, saved_gather):
+            module.gather_edge_indices = gather
+
+
+# ----------------------------------------------------------------------
+# Timing helpers
+# ----------------------------------------------------------------------
+
+
+def _best_of(repeats, fn):
+    best = None
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+# ----------------------------------------------------------------------
+# Microbenchmarks
+# ----------------------------------------------------------------------
+
+
+def run_microbench(num_vertices, repeats):
+    rng = np.random.default_rng(42)
+    results = {}
+
+    for label, factor in (("dense", 8), ("sparse", 0.02)):
+        num_messages = int(num_vertices * factor)
+        destinations = rng.integers(0, num_vertices, size=num_messages)
+        values = rng.random(num_messages) * 1e-3
+        base = rng.random(num_vertices)
+
+        def time_pair(kernel_fn, legacy_fn):
+            after, _ = _best_of(repeats, kernel_fn)
+            before, _ = _best_of(repeats, legacy_fn)
+            return {"before_s": before, "after_s": after, "speedup": before / after if after else None}
+
+        results["scatter_add_%s" % label] = time_pair(
+            lambda: scatter_add(base.copy(), destinations, values),
+            lambda: np.add.at(base.copy(), destinations, values),
+        )
+        results["scatter_min_%s" % label] = time_pair(
+            lambda: scatter_min(base.copy(), destinations, values),
+            lambda: np.minimum.at(base.copy(), destinations, values),
+        )
+
+        def fused_push(combine, **kwargs):
+            return push_and_activate(base.copy(), destinations, values, combine=combine, **kwargs)
+
+        def legacy_push(combine, **kwargs):
+            with legacy_kernels():
+                return push_and_activate(base.copy(), destinations, values, combine=combine, **kwargs)
+
+        results["push_and_activate_min_%s" % label] = time_pair(
+            lambda: fused_push("min"), lambda: legacy_push("min")
+        )
+        results["push_and_activate_add_%s" % label] = time_pair(
+            lambda: fused_push("add", threshold=0.5), lambda: legacy_push("add", threshold=0.5)
+        )
+
+    graph = rmat_graph(num_vertices, num_vertices * 8, seed=3)
+
+    def seed_edge_sources():
+        sources = np.empty(graph.num_edges, dtype=np.int64)
+        for vertex in range(graph.num_vertices):
+            start, end = graph.edge_slice(vertex)
+            sources[start:end] = vertex
+        return sources
+
+    def new_edge_sources():
+        return np.repeat(np.arange(graph.num_vertices, dtype=np.int64), graph.out_degrees)
+
+    before, seed_sources = _best_of(1, seed_edge_sources)
+    after, new_sources = _best_of(repeats, new_edge_sources)
+    assert np.array_equal(seed_sources, new_sources)
+    results["edge_sources"] = {"before_s": before, "after_s": after, "speedup": before / after if after else None}
+
+    def seed_partition_by_bytes(target_bytes):
+        budget_edges = max(1, target_bytes // graph.edge_bytes_per_edge)
+        boundaries = [0]
+        current_edges = 0
+        for vertex in range(graph.num_vertices):
+            degree = int(graph.out_degrees[vertex])
+            if current_edges > 0 and current_edges + degree > budget_edges:
+                boundaries.append(vertex)
+                current_edges = 0
+            current_edges += degree
+        boundaries.append(graph.num_vertices)
+        return boundaries
+
+    target = max(graph.edge_bytes_per_edge, graph.edge_data_bytes // 64)
+    before, _ = _best_of(1, lambda: seed_partition_by_bytes(target))
+    after, _ = _best_of(repeats, lambda: partition_by_bytes(graph, target))
+    results["partition_by_bytes"] = {"before_s": before, "after_s": after, "speedup": before / after if after else None}
+    return results
+
+
+# ----------------------------------------------------------------------
+# End-to-end runs
+# ----------------------------------------------------------------------
+
+
+def _build_workloads(num_vertices, num_edges, seed):
+    plain = rmat_graph(num_vertices, num_edges, seed=seed, name="rmat")
+    weighted = rmat_graph(num_vertices, num_edges, seed=seed, weighted=True, name="rmat-w")
+    uniform = uniform_random_graph(num_vertices, num_edges, seed=seed, name="uniform")
+    return [
+        ("PR", plain, DeltaPageRank(), None),
+        ("SSSP", weighted, SSSP(), 0),
+        ("BFS", plain, BFS(), 0),
+        ("CC", uniform, ConnectedComponents(), None),
+        ("PHP", plain, PHP(), 0),
+    ]
+
+
+def _make_systems(graph):
+    return [
+        HyTGraphSystem(graph),
+        EmogiSystem(graph),
+        SubwaySystem(graph),
+    ]
+
+
+def run_end_to_end(num_vertices, num_edges, seed, repeats):
+    results = {}
+    for algorithm, graph, program, source in _build_workloads(num_vertices, num_edges, seed):
+        per_system = {}
+        for system in _make_systems(graph):
+            kwargs = {} if source is None else {"source": source}
+            with seed_baseline():
+                before, result_before = _best_of(repeats, lambda: system.run(program, **kwargs))
+            after, result_after = _best_of(repeats, lambda: system.run(program, **kwargs))
+            identical = bool(
+                np.array_equal(np.asarray(result_before.values), np.asarray(result_after.values))
+            )
+            per_system[system.name] = {
+                "before_s": before,
+                "after_s": after,
+                "speedup": before / after if after else None,
+                "identical_values": identical,
+                "iterations": len(result_after.iterations),
+                "graph": graph.name,
+            }
+            print(
+                "  %-4s %-9s before %8.3fs  after %8.3fs  speedup %5.2fx  identical=%s"
+                % (algorithm, system.name, before, after, before / after, identical)
+            )
+            if not identical:
+                raise AssertionError(
+                    "%s on %s: seed and kernel-layer runs disagree" % (algorithm, system.name)
+                )
+        results[algorithm] = per_system
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--edges", type=int, default=1_000_000, help="target edge count of the generated graphs")
+    parser.add_argument("--vertices", type=int, default=1 << 17, help="vertex count of the generated graphs")
+    parser.add_argument("--seed", type=int, default=7, help="generator seed")
+    parser.add_argument("--repeats", type=int, default=2, help="best-of repetitions per measurement")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUTPUT, help="output JSON path")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny CI run: 2k vertices / 10k edges, single repetition",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        # Shrink to CI scale, but let explicit --vertices/--edges win.
+        if args.vertices == parser.get_default("vertices"):
+            args.vertices = 2_000
+        if args.edges == parser.get_default("edges"):
+            args.edges = 10_000
+        args.repeats = 1
+    micro_vertices = min(args.vertices, 1 << 17)
+
+    print("== microbenchmarks (|V| = %d) ==" % micro_vertices)
+    microbench = run_microbench(micro_vertices, args.repeats)
+    for name, entry in microbench.items():
+        print("  %-26s before %8.5fs  after %8.5fs  speedup %6.1fx" % (name, entry["before_s"], entry["after_s"], entry["speedup"]))
+
+    print("== end-to-end (|V| = %d, |E| ~ %d) ==" % (args.vertices, args.edges))
+    end_to_end = run_end_to_end(args.vertices, args.edges, args.seed, args.repeats)
+
+    payload = {
+        "meta": {
+            "harness": "bench_perf_hotpaths",
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+            "vertices": args.vertices,
+            "edges": args.edges,
+            "seed": args.seed,
+            "repeats": args.repeats,
+            "smoke": bool(args.smoke),
+        },
+        "microbench": microbench,
+        "end_to_end": end_to_end,
+    }
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print("wrote %s" % args.out)
+
+    hytgraph_pr = end_to_end["PR"]["HyTGraph"]["speedup"]
+    hytgraph_sssp = end_to_end["SSSP"]["HyTGraph"]["speedup"]
+    print(
+        "HyTGraph end-to-end speedups: PR %.2fx, SSSP %.2fx (target >= 3x on ~1M-edge graphs)"
+        % (hytgraph_pr, hytgraph_sssp)
+    )
+    return payload
+
+
+if __name__ == "__main__":
+    main()

@@ -75,12 +75,13 @@ def gather_edge_indices(graph: CSRGraph, vertices: np.ndarray) -> tuple[np.ndarr
     total = int(degrees.sum())
     if total == 0:
         return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
-    # Standard CSR gather: for each vertex, emit starts[v] + 0..deg-1.
-    repeats = np.repeat(np.arange(vertices.size), degrees)
-    cumulative = np.concatenate([[0], np.cumsum(degrees)])[:-1]
-    within = np.arange(total) - np.repeat(cumulative, degrees)
-    edge_indices = np.repeat(starts, degrees) + within
-    sources = vertices[repeats]
+    # Standard CSR gather: for each vertex, emit starts[v] + 0..deg-1.  One
+    # repeat of the per-vertex shift (starts minus the running output
+    # offset) added to a single arange produces all edge indices at once.
+    cumulative = np.cumsum(degrees)
+    shifts = np.repeat(starts - (cumulative - degrees), degrees)
+    edge_indices = np.arange(total, dtype=np.int64) + shifts
+    sources = np.repeat(vertices, degrees)
     return edge_indices, sources
 
 

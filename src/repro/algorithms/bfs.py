@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.base import ProgramState, VertexProgram, gather_edge_indices
+from repro.core.kernels import push_and_activate
 from repro.graph.csr import CSRGraph
 from repro.graph.frontier import Frontier
 
@@ -42,10 +43,9 @@ class BFS(VertexProgram):
             return np.zeros(0, dtype=np.int64)
         destinations = graph.column_index[edge_indices]
         candidates = levels[sources] + 1.0
-        previous = levels[destinations].copy()
-        np.minimum.at(levels, destinations, candidates)
-        improved = levels[destinations] < previous
-        return np.unique(destinations[improved])
+        # Fused min-combine scatter: applies the level updates and returns
+        # the destinations whose level dropped (repro.core.kernels).
+        return push_and_activate(levels, destinations, candidates, combine="min")
 
     def vertex_result(self, state: ProgramState) -> np.ndarray:
         return state["level"]

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.base import ProgramState, VertexProgram, gather_edge_indices
+from repro.core.kernels import push_and_activate
 from repro.graph.csr import CSRGraph
 from repro.graph.frontier import Frontier
 
@@ -41,10 +42,9 @@ class ConnectedComponents(VertexProgram):
             return np.zeros(0, dtype=np.int64)
         destinations = graph.column_index[edge_indices]
         candidates = labels[sources]
-        previous = labels[destinations].copy()
-        np.minimum.at(labels, destinations, candidates)
-        improved = labels[destinations] < previous
-        return np.unique(destinations[improved])
+        # Fused min-combine scatter: propagates the labels and returns the
+        # destinations whose label shrank (repro.core.kernels).
+        return push_and_activate(labels, destinations, candidates, combine="min")
 
     def vertex_result(self, state: ProgramState) -> np.ndarray:
         return state["label"]

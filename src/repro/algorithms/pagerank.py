@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.base import ProgramState, VertexProgram, gather_edge_indices
+from repro.core.kernels import push_and_activate
 from repro.graph.csr import CSRGraph
 from repro.graph.frontier import Frontier
 
@@ -88,14 +89,11 @@ class DeltaPageRank(VertexProgram):
         # gather_edge_indices emits each sender's edges contiguously, so the
         # per-sender share can simply be repeated by out-degree.
         shares = np.repeat(per_edge_share, degrees[has_edges])
-        previous = deltas[destinations] > self.tolerance
-        np.add.at(deltas, destinations, shares)
-        now_active = deltas[destinations] > self.tolerance
-        newly = destinations[now_active & ~previous]
-        # A destination already above tolerance stays on the frontier; the
-        # caller merges the returned set with its pending mask, so only the
-        # newly crossed vertices need to be reported.
-        return np.unique(np.concatenate([newly, destinations[now_active]]))
+        # Fused add-combine scatter: accumulates the shares and returns every
+        # destination whose residual now exceeds the tolerance — destinations
+        # that were already above it stay on the frontier, so no separate
+        # "newly crossed" bookkeeping is needed (repro.core.kernels).
+        return push_and_activate(deltas, destinations, shares, combine="add", threshold=self.tolerance)
 
     def vertex_result(self, state: ProgramState) -> np.ndarray:
         # Remaining residual mass is part of the final rank estimate.

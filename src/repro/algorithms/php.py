@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.base import ProgramState, VertexProgram, gather_edge_indices
+from repro.core.kernels import push_and_activate
 from repro.graph.csr import CSRGraph
 from repro.graph.frontier import Frontier
 
@@ -82,9 +83,9 @@ class PHP(VertexProgram):
         shares = shares[keep]
         if destinations.size == 0:
             return np.zeros(0, dtype=np.int64)
-        np.add.at(deltas, destinations, shares)
-        active = deltas[destinations] > self.tolerance
-        return np.unique(destinations[active])
+        # Fused add-combine scatter: accumulates the penalised mass and
+        # returns the destinations above tolerance (repro.core.kernels).
+        return push_and_activate(deltas, destinations, shares, combine="add", threshold=self.tolerance)
 
     def vertex_result(self, state: ProgramState) -> np.ndarray:
         result = state["php"] + state["delta"]

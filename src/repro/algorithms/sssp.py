@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.base import ProgramState, VertexProgram, gather_edge_indices
+from repro.core.kernels import push_and_activate
 from repro.graph.csr import CSRGraph
 from repro.graph.frontier import Frontier
 
@@ -45,10 +46,9 @@ class SSSP(VertexProgram):
         destinations = graph.column_index[edge_indices]
         weights = graph.edge_value[edge_indices]
         candidates = distances[sources] + weights
-        previous = distances[destinations].copy()
-        np.minimum.at(distances, destinations, candidates)
-        improved = distances[destinations] < previous
-        return np.unique(destinations[improved])
+        # Fused min-combine scatter: relaxes all edges and returns the
+        # destinations whose distance improved (repro.core.kernels).
+        return push_and_activate(distances, destinations, candidates, combine="min")
 
     def vertex_result(self, state: ProgramState) -> np.ndarray:
         return state["dist"]

@@ -1,5 +1,8 @@
 """HyTGraph's primary contribution: hybrid transfer management.
 
+* :mod:`repro.core.kernels` — the vectorised scatter-reduce kernel layer
+  every vertex program pushes its updates through (the repo's GPU-kernel
+  stand-ins; see its "Performance architecture" docstring).
 * :mod:`repro.core.cost_model` — the per-partition transfer-cost formulas
   (1), (2) and (3) of Section V-A.
 * :mod:`repro.core.selection` — the α/β engine-selection rule of
@@ -14,6 +17,13 @@
   scheduling until convergence (Figure 5).
 """
 
+from repro.core.kernels import (
+    legacy_kernels,
+    push_and_activate,
+    scatter_add,
+    scatter_max,
+    scatter_min,
+)
 from repro.core.cost_model import CostModel, PartitionCosts
 from repro.core.selection import EngineSelector, SelectionThresholds
 from repro.core.combiner import ScheduledTask, TaskCombiner
@@ -21,6 +31,11 @@ from repro.core.priority import ContributionScheduler
 from repro.core.engine import HyTGraphEngine, HyTGraphOptions
 
 __all__ = [
+    "scatter_add",
+    "scatter_min",
+    "scatter_max",
+    "push_and_activate",
+    "legacy_kernels",
     "CostModel",
     "PartitionCosts",
     "EngineSelector",

@@ -82,14 +82,24 @@ class TaskCombiner:
         partitioning: Partitioning,
         selection: SelectionResult,
         active_mask: np.ndarray,
+        active_ids: np.ndarray | None = None,
     ) -> list[ScheduledTask]:
-        """Build the task list for one iteration."""
-        active_mask = np.asarray(active_mask, dtype=bool)
+        """Build the task list for one iteration.
+
+        ``active_mask`` is the frontier bitmap; callers that already hold
+        the sorted active vertex ids can pass them as ``active_ids`` (the
+        mask is then not scanned).
+        """
+        if active_ids is None:
+            active_ids = np.flatnonzero(np.asarray(active_mask, dtype=bool))
+        # Partitions hold consecutive vertex ranges and active_ids is
+        # sorted, so one bisection of the partition boundaries splits the
+        # frontier; each partition's actives are then a plain slice view.
+        boundaries = np.append(partitioning.vertex_starts, partitioning.graph.num_vertices)
+        cuts = np.searchsorted(active_ids, boundaries)
 
         def active_in(partition_index: int) -> np.ndarray:
-            partition = partitioning[partition_index]
-            segment = active_mask[partition.vertex_start : partition.vertex_end]
-            return np.nonzero(segment)[0] + partition.vertex_start
+            return active_ids[cuts[partition_index] : cuts[partition_index + 1]]
 
         if not self.enabled:
             tasks = []
@@ -120,12 +130,14 @@ class TaskCombiner:
         # --- ExpTM-compaction: one combined task ---------------------------
         compaction_partitions = selection.partitions_using(EngineKind.EXP_COMPACTION)
         if compaction_partitions:
+            # Partition indices ascend and partitions hold consecutive vertex
+            # ranges, so the concatenation is already sorted.
             vertices = np.concatenate([active_in(index) for index in compaction_partitions])
             tasks.append(
                 ScheduledTask(
                     engine=EngineKind.EXP_COMPACTION,
                     partition_indices=list(compaction_partitions),
-                    active_vertices=np.sort(vertices),
+                    active_vertices=vertices,
                     label="ExpTM-C[combined:%d]" % len(compaction_partitions),
                 )
             )
@@ -138,16 +150,18 @@ class TaskCombiner:
                 ScheduledTask(
                     engine=EngineKind.IMP_ZERO_COPY,
                     partition_indices=list(zero_copy_partitions),
-                    active_vertices=np.sort(vertices),
+                    active_vertices=vertices,
                     label="ImpTM-ZC[combined:%d]" % len(zero_copy_partitions),
                 )
             )
         return tasks
 
     def _make_filter_task(self, partition_indices: list[int], active_in) -> ScheduledTask:
+        # Filter tasks merge consecutive partitions, so the concatenated
+        # active ids are already in ascending order.
         vertices = np.concatenate([active_in(index) for index in partition_indices])
         return ScheduledTask(
             engine=EngineKind.EXP_FILTER,
             partition_indices=list(partition_indices),
-            active_vertices=np.sort(vertices),
+            active_vertices=vertices,
         )

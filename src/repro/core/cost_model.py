@@ -68,6 +68,8 @@ class CostModel:
         self.pcie = PCIeModel(config)
         self._partition_edges = partitioning.edges_per_partition()
         self._d1 = graph.edge_bytes_per_edge
+        # Formula 1 depends only on the (static) partition sizes.
+        self._static_filter_cost = self._filter_cost_from_edges(self._partition_edges)
 
     # ------------------------------------------------------------------
     # Individual formulas
@@ -116,30 +118,35 @@ class CostModel:
         tlps = np.ceil(num_bytes / self.config.tlp_payload_bytes)
         return tlps * self.config.tlp_round_trip_time
 
-    def estimate(self, active_mask: np.ndarray) -> PartitionCosts:
+    def estimate(self, active_mask: np.ndarray, active_ids: np.ndarray | None = None) -> PartitionCosts:
         """Estimate all three engine costs for every partition.
 
         ``active_mask`` is the frontier bitmap at the start of the
-        iteration.  The returned arrays are what the
+        iteration; callers that already hold the sorted active vertex ids
+        can pass them as ``active_ids`` (the mask is then not scanned).
+        The returned arrays are what the
         :class:`~repro.core.selection.EngineSelector` compares.
         """
-        active_mask = np.asarray(active_mask, dtype=bool)
+        if active_ids is None:
+            active_ids = np.flatnonzero(np.asarray(active_mask, dtype=bool))
         num_partitions = self.partitioning.num_partitions
-        active_vertices, active_edges = self.partitioning.active_counts(active_mask)
 
-        filter_cost = self._filter_cost_from_edges(self._partition_edges)
-        filter_cost = np.where(active_edges > 0, filter_cost, 0.0)
+        # Per-partition frontier reductions share one id array: counts,
+        # degrees and (below) zero-copy requests all bin by partition.
+        partition_of = self.partitioning.partition_of_vertices(active_ids)
+        degrees = self.graph.out_degrees[active_ids]
+        active_vertices = np.bincount(partition_of, minlength=num_partitions).astype(np.int64)
+        active_edges = np.bincount(partition_of, weights=degrees, minlength=num_partitions).astype(np.int64)
+
+        filter_cost = np.where(active_edges > 0, self._static_filter_cost, 0.0)
         compaction_cost = self._compaction_cost_from_counts(active_edges, active_vertices)
         compaction_cost = np.where(active_edges > 0, compaction_cost, 0.0)
 
         # Zero-copy: per-vertex requests, grouped back per partition.
         zero_copy_cost = np.zeros(num_partitions, dtype=np.float64)
-        active_ids = np.nonzero(active_mask)[0]
         if active_ids.size:
-            degrees = self.graph.out_degrees[active_ids]
             starts = self.graph.row_offset[active_ids] * self._d1
             requests = self.pcie.requests_for_vertices(degrees, starts, value_bytes=self._d1)
-            partition_of = self.partitioning.partition_of_vertices(active_ids)
             requests_per_partition = np.bincount(
                 partition_of, weights=requests, minlength=num_partitions
             )

@@ -21,6 +21,19 @@ once") so cheap extra GPU work replaces future transfers.
 Every behavioural feature is switchable through :class:`HyTGraphOptions`
 so the ablation benchmarks (Figure 8) can turn task combining and
 contribution-driven scheduling on and off independently.
+
+Performance architecture
+------------------------
+The engine is built around a partition-local frontier fast path: tasks
+cover contiguous partition vertex ranges, so pending vertices are found
+with slice views + ``np.flatnonzero`` (never an O(|V|) per-task boolean
+mask), each task's sorted active-vertex array is split across partitions
+by bisection, transfers are priced with one vectorised
+:meth:`~repro.transfer.base.TransferEngine.transfer_task` call, and one
+frontier scan per iteration feeds the iteration stats, the cost model and
+the task combiner.  The per-edge scatter work itself lives in the shared
+kernel layer (:mod:`repro.core.kernels`); ``benchmarks/bench_perf_hotpaths.py``
+measures both layers against the seed implementation.
 """
 
 from __future__ import annotations
@@ -127,6 +140,8 @@ class HyTGraphEngine:
             self.graph = graph
 
         self.partitioning = self._build_partitioning()
+        # Sink detection runs every iteration; the degree==0 mask is static.
+        self._sink_mask = self.graph.out_degrees == 0
         self.cost_model = CostModel(self.graph, self.partitioning, self.config)
         self.selector = EngineSelector(self.options.thresholds)
         self.combiner = TaskCombiner(self.options.combine_factor, enabled=self.options.task_combining)
@@ -209,23 +224,26 @@ class HyTGraphEngine:
         pending: np.ndarray,
     ) -> IterationStats:
         graph = self.graph
-        active_mask = pending.copy()
-        active_vertex_count = int(active_mask.sum())
-        active_edge_count = int(graph.out_degrees[active_mask].sum())
+        # One frontier scan per iteration: the id array feeds the stats,
+        # the cost model and the task combiner (the seed engine rescanned
+        # the |V| mask in each of those places).
+        active_ids = np.flatnonzero(pending)
+        active_vertex_count = int(active_ids.size)
+        active_edge_count = int(graph.out_degrees[active_ids].sum())
 
         # Active vertices without out-edges generate no tasks (their
         # partitions carry no active edges), so handle them directly: the
         # push is a no-op for traversal algorithms and simply folds the
         # residual for accumulative ones.
-        sinks = np.nonzero(pending & (graph.out_degrees == 0))[0]
+        sinks = np.flatnonzero(pending & self._sink_mask)
         if sinks.size:
             pending[sinks] = False
             program.process(graph, state, sinks)
 
         # ----- Stage 1: cost-aware task generation ------------------------
-        costs = self.cost_model.estimate(active_mask)
+        costs = self.cost_model.estimate(pending, active_ids=active_ids)
         selection = self.selector.select(costs)
-        tasks = self.combiner.combine(self.partitioning, selection, active_mask)
+        tasks = self.combiner.combine(self.partitioning, selection, pending, active_ids=active_ids)
         tasks = self.priority.prioritize(tasks, program, state)
         # The cost analysis and selection run as a device-side scan; only
         # the selection result is copied back (Section V-A).
@@ -276,12 +294,32 @@ class HyTGraphEngine:
     # ------------------------------------------------------------------
     # Task execution
     # ------------------------------------------------------------------
-    def _task_vertex_mask(self, task: ScheduledTask) -> np.ndarray:
-        mask = np.zeros(self.graph.num_vertices, dtype=bool)
+    def _task_vertex_ranges(self, task: ScheduledTask) -> list[tuple[int, int]]:
+        """Contiguous ``[start, end)`` vertex ranges covered by the task.
+
+        Partitions hold consecutive vertex ranges and ``partition_indices``
+        is ascending, so adjacent partitions merge into one range.  The
+        ranges replace the per-task ``|V|``-sized boolean masks the seed
+        engine allocated: every frontier query below is a slice view plus
+        ``np.flatnonzero`` on the slice, i.e. O(range size) not O(|V|).
+        """
+        ranges: list[tuple[int, int]] = []
         for index in task.partition_indices:
             partition = self.partitioning[index]
-            mask[partition.vertex_start : partition.vertex_end] = True
-        return mask
+            if ranges and ranges[-1][1] == partition.vertex_start:
+                ranges[-1] = (ranges[-1][0], partition.vertex_end)
+            else:
+                ranges.append((partition.vertex_start, partition.vertex_end))
+        return ranges
+
+    @staticmethod
+    def _pending_in_ranges(pending: np.ndarray, ranges: list[tuple[int, int]]) -> np.ndarray:
+        """Sorted pending vertex ids inside the given ranges (slice-local scan)."""
+        if len(ranges) == 1:
+            start, end = ranges[0]
+            return np.flatnonzero(pending[start:end]) + start
+        chunks = [np.flatnonzero(pending[start:end]) + start for start, end in ranges]
+        return np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.int64)
 
     def _execute_task(
         self,
@@ -292,12 +330,12 @@ class HyTGraphEngine:
     ) -> int:
         """Run the vertex program for one task; returns edges processed."""
         graph = self.graph
-        partition_mask = self._task_vertex_mask(task)
+        ranges = self._task_vertex_ranges(task)
 
         # Asynchronous semantics: process whatever is pending in this
         # task's partitions *now*, including activations produced by tasks
         # scheduled earlier in the same iteration.
-        first_round = np.nonzero(pending & partition_mask)[0]
+        first_round = self._pending_in_ranges(pending, ranges)
         if first_round.size == 0:
             return 0
         pending[first_round] = False
@@ -313,11 +351,9 @@ class HyTGraphEngine:
         # tasks the whole partition is resident on the GPU, for compaction
         # and zero-copy only the originally active vertices' edges are.
         if task.engine == EngineKind.EXP_FILTER:
-            loaded_mask = partition_mask
+            second_round = self._pending_in_ranges(pending, ranges)
         else:
-            loaded_mask = np.zeros(graph.num_vertices, dtype=bool)
-            loaded_mask[first_round] = True
-        second_round = np.nonzero(pending & loaded_mask)[0]
+            second_round = first_round[pending[first_round]]
         if second_round.size:
             pending[second_round] = False
             processed_edges += int(graph.out_degrees[second_round].sum())
@@ -328,26 +364,12 @@ class HyTGraphEngine:
 
     def _account_transfer(self, task: ScheduledTask):
         """Price the data movement of one task with its transfer engine."""
-        from repro.transfer.base import TransferOutcome
-
         engine = self.engines[task.engine]
         partitions = [self.partitioning[index] for index in task.partition_indices]
-        bytes_total = 0
-        transfer_time = 0.0
-        cpu_time = 0.0
-        overlapped = False
         active = task.active_vertices
-        for partition in partitions:
-            in_partition = active[(active >= partition.vertex_start) & (active < partition.vertex_end)]
-            outcome = engine.transfer(partition, in_partition)
-            bytes_total += outcome.bytes_transferred
-            transfer_time += outcome.transfer_time
-            cpu_time += outcome.cpu_time
-            overlapped = overlapped or outcome.overlapped
-        return TransferOutcome(
-            engine=task.engine,
-            bytes_transferred=bytes_total,
-            transfer_time=transfer_time,
-            cpu_time=cpu_time,
-            overlapped=overlapped,
-        )
+        # active_vertices is sorted, so each partition's slice is found by
+        # bisection instead of two boolean compares over the whole array.
+        boundaries = [partition.vertex_start for partition in partitions]
+        boundaries.append(partitions[-1].vertex_end)
+        cuts = np.searchsorted(active, boundaries)
+        return engine.transfer_task(partitions, active, cuts)

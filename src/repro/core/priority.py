@@ -54,18 +54,25 @@ class ContributionScheduler:
         self._hub_mass = self._per_partition_hub_mass()
 
     def _per_partition_hub_mass(self) -> np.ndarray:
+        num_partitions = self.partitioning.num_partitions
+        if num_partitions == 0:
+            return np.zeros(0, dtype=np.float64)
         scores = hub_scores(self.graph)
-        mass = np.zeros(self.partitioning.num_partitions, dtype=np.float64)
-        for partition in self.partitioning:
-            mass[partition.index] = scores[partition.vertex_start : partition.vertex_end].sum()
-        return mass
+        # Partitions tile the vertex range, so one segmented reduction over
+        # the partition boundaries replaces the per-partition Python loop.
+        starts = np.fromiter(
+            (partition.vertex_start for partition in self.partitioning),
+            dtype=np.int64,
+            count=num_partitions,
+        )
+        return np.add.reduceat(scores, starts)
 
     # ------------------------------------------------------------------
     # Contribution measures
     # ------------------------------------------------------------------
     def hub_contribution(self, task: ScheduledTask) -> float:
         """Hub-score mass of the task's partitions (hub-vertex-driven)."""
-        return float(sum(self._hub_mass[index] for index in task.partition_indices))
+        return float(self._hub_mass[task.partition_indices].sum())
 
     def delta_contribution(
         self, task: ScheduledTask, program: VertexProgram, state: ProgramState

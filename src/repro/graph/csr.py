@@ -51,6 +51,7 @@ class CSRGraph:
     name: str = "graph"
     _out_degrees: np.ndarray = field(init=False, repr=False, compare=False, default=None)
     _in_degrees: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+    _edge_sources: np.ndarray = field(init=False, repr=False, compare=False, default=None)
 
     def __post_init__(self) -> None:
         row_offset = np.asarray(self.row_offset, dtype=np.int64)
@@ -63,6 +64,7 @@ class CSRGraph:
         self._validate()
         object.__setattr__(self, "_out_degrees", np.diff(row_offset))
         object.__setattr__(self, "_in_degrees", None)
+        object.__setattr__(self, "_edge_sources", None)
 
     def _validate(self) -> None:
         if self.row_offset.ndim != 1 or self.row_offset.size < 1:
@@ -166,12 +168,20 @@ class CSRGraph:
                 yield src, int(self.column_index[idx]), weight
 
     def edge_sources(self) -> np.ndarray:
-        """Source vertex of every edge, aligned with ``column_index``."""
-        sources = np.empty(self.num_edges, dtype=np.int64)
-        for vertex in range(self.num_vertices):
-            start, end = self.edge_slice(vertex)
-            sources[start:end] = vertex
-        return sources
+        """Source vertex of every edge, aligned with ``column_index``.
+
+        Computed lazily with one ``np.repeat`` and cached: ``reverse()``,
+        ``symmetrize()``, ``permute()`` (and through it hub sorting) and the
+        reference PageRank/PHP fixed-point solvers all consume it, so the
+        per-vertex Python loop it replaces was a preprocessing hot spot.
+        Treat the returned array as read-only.
+        """
+        if self._edge_sources is None:
+            sources = np.repeat(np.arange(self.num_vertices, dtype=np.int64), self._out_degrees)
+            # The cache is shared across callers; writes must fail loudly.
+            sources.setflags(write=False)
+            object.__setattr__(self, "_edge_sources", sources)
+        return self._edge_sources
 
     # ------------------------------------------------------------------
     # Constructors

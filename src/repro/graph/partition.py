@@ -124,6 +124,11 @@ class Partitioning:
         """Number of partitions."""
         return len(self.partitions)
 
+    @property
+    def vertex_starts(self) -> np.ndarray:
+        """``vertex_start`` of every partition (ascending ``int64`` array)."""
+        return self._vertex_starts
+
     def partition_of_vertex(self, vertex: int) -> int:
         """Index of the partition holding ``vertex``'s adjacency list."""
         return int(self._partition_of_vertex[vertex])
@@ -197,24 +202,23 @@ def partition_by_bytes(graph: CSRGraph, partition_bytes: int = DEFAULT_PARTITION
     per_edge = graph.edge_bytes_per_edge
     budget_edges = max(1, partition_bytes // per_edge)
 
+    # Greedy boundary placement, one bisection per partition instead of a
+    # Python loop over every vertex.  A partition extends to the last
+    # vertex whose cumulative edge count still fits the budget, but always
+    # covers at least one vertex AND at least one edge (when edges remain):
+    # an oversized adjacency list — optionally preceded by zero-degree
+    # vertices — gets a partition of its own, and trailing zero-degree
+    # vertices attach to the partition in front of them, exactly as the
+    # sequential scan did.
+    row_offset = graph.row_offset
+    num_vertices = graph.num_vertices
     boundaries = [0]
-    current_edges = 0
-    for vertex in range(graph.num_vertices):
-        degree = int(graph.out_degrees[vertex])
-        if current_edges > 0 and current_edges + degree > budget_edges:
-            boundaries.append(vertex)
-            current_edges = 0
-        current_edges += degree
-    boundaries.append(graph.num_vertices)
-    # Remove a possible duplicated final boundary (when the loop closed a
-    # partition exactly at the last vertex).
-    deduped = [boundaries[0]]
-    for boundary in boundaries[1:]:
-        if boundary != deduped[-1]:
-            deduped.append(boundary)
-    if deduped[-1] != graph.num_vertices:
-        deduped.append(graph.num_vertices)
-    return _build_partitions(graph, deduped)
+    while boundaries[-1] < num_vertices:
+        start = boundaries[-1]
+        fits = int(np.searchsorted(row_offset, row_offset[start] + budget_edges, side="right")) - 1
+        nonempty = int(np.searchsorted(row_offset, row_offset[start], side="right"))
+        boundaries.append(min(max(fits, nonempty, start + 1), num_vertices))
+    return _build_partitions(graph, boundaries)
 
 
 def partition_by_count(graph: CSRGraph, num_partitions: int) -> Partitioning:

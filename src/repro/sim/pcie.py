@@ -148,17 +148,26 @@ class PCIeModel:
         total_requests = int(requests.sum())
         payload_bytes = int(degrees.sum()) * d1
         num_tlps = int(np.ceil(total_requests / self.config.pcie_max_outstanding)) if total_requests else 0
+        return ZeroCopyAccess(
+            num_requests=total_requests,
+            num_tlps=num_tlps,
+            payload_bytes=payload_bytes,
+            time=self.zero_copy_time(total_requests, payload_bytes),
+        )
+
+    def zero_copy_time(self, total_requests: int, payload_bytes: int) -> float:
+        """Zero-copy occupancy for a request/payload total (see above).
+
+        Shared by :meth:`zero_copy_access` and the batched
+        ``ZeroCopyEngine.transfer_task`` accounting so the formula lives
+        in exactly one place.
+        """
         gamma = self.config.zero_copy_gamma
         rtt = self.config.tlp_round_trip_time
         mr = self.config.pcie_max_outstanding
         header_time = gamma * rtt * total_requests / mr
         payload_time = (1.0 - gamma) * rtt * payload_bytes / (mr * self.config.pcie_request_bytes)
-        return ZeroCopyAccess(
-            num_requests=total_requests,
-            num_tlps=num_tlps,
-            payload_bytes=payload_bytes,
-            time=header_time + payload_time,
-        )
+        return header_time + payload_time
 
     def zero_copy_throughput(self, request_bytes: int) -> float:
         """Effective zero-copy throughput when every request carries ``request_bytes``.

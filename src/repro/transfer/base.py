@@ -5,6 +5,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Sequence
 
 import numpy as np
 
@@ -75,6 +76,41 @@ class TransferEngine(ABC):
         ``active_vertices`` are the active vertex ids whose adjacency
         lists live in ``partition`` (callers guarantee containment).
         """
+
+    def transfer_task(
+        self,
+        partitions: Sequence[EdgePartition],
+        active_vertices: np.ndarray,
+        cuts: np.ndarray,
+    ) -> TransferOutcome:
+        """Aggregate outcome of transferring one multi-partition task.
+
+        ``active_vertices`` is the task's sorted active-vertex array and
+        ``cuts`` (length ``len(partitions) + 1``) slices it per partition:
+        partition ``i`` owns ``active_vertices[cuts[i]:cuts[i + 1]]``.
+
+        The default implementation loops over :meth:`transfer`; the hot
+        engines override it with a vectorised pass that produces the same
+        per-partition accounting (including per-partition TLP rounding)
+        without one Python call per partition.
+        """
+        bytes_total = 0
+        transfer_time = 0.0
+        cpu_time = 0.0
+        overlapped = False
+        for position, partition in enumerate(partitions):
+            outcome = self.transfer(partition, active_vertices[cuts[position] : cuts[position + 1]])
+            bytes_total += outcome.bytes_transferred
+            transfer_time += outcome.transfer_time
+            cpu_time += outcome.cpu_time
+            overlapped = overlapped or outcome.overlapped
+        return TransferOutcome(
+            engine=self.kind,
+            bytes_transferred=bytes_total,
+            transfer_time=transfer_time,
+            cpu_time=cpu_time,
+            overlapped=overlapped,
+        )
 
     def reset(self) -> None:
         """Clear any cross-iteration state (page caches); default no-op."""
