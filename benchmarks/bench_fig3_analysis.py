@@ -22,7 +22,6 @@ from repro.graph.properties import degree_bucket_fractions
 from repro.metrics.tables import format_series, format_table
 from repro.sim.config import default_config
 from repro.sim.pcie import PCIeModel
-from repro.systems import make_system
 
 
 def _frontier_trace(workload, system_name="emogi"):

@@ -10,7 +10,6 @@ exactly like the real 11 GB card — so the small graphs fit and the large
 ones do not.
 """
 
-import numpy as np
 from conftest import run_once
 
 from repro.bench.workloads import build_workload

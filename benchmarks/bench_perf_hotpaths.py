@@ -20,10 +20,22 @@ seed ("pre kernel-layer") implementation:
 Results are written to ``BENCH_perf.json`` in the repository root so
 future PRs can track the perf trajectory.
 
+**Perf-regression gate.**  ``--check-against REF.json`` compares the
+run's end-to-end speedups with a reference file of the same shape and
+fails (exit code 1) when a system's speedup geomean drops below
+``reference * (1 - tolerance)``.  Because every speedup is normalised
+against the in-run seed baseline, absolute CI-runner speed cancels out;
+the geomean across the five algorithms averages away the per-entry noise
+of tiny smoke graphs while a real hot-path regression still drags it
+down.  ``--inject-slowdown F`` multiplies the measured "after" times by
+``F`` to validate that the gate actually fires.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py            # full run (~1M edges)
-    PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py --smoke    # tiny CI smoke run
+    python benchmarks/bench_perf_hotpaths.py            # full run (~1M edges)
+    python benchmarks/bench_perf_hotpaths.py --smoke    # tiny CI smoke run
+    python benchmarks/bench_perf_hotpaths.py --smoke \
+        --check-against benchmarks/BENCH_perf_smoke.json --tolerance 0.25
 """
 
 from __future__ import annotations
@@ -51,7 +63,6 @@ from repro.core.combiner import ScheduledTask, TaskCombiner
 from repro.core.cost_model import CostModel, PartitionCosts
 from repro.core.engine import HyTGraphEngine
 from repro.core.kernels import legacy_kernels, push_and_activate, scatter_add, scatter_min
-from repro.graph.csr import CSRGraph
 from repro.graph.generators import rmat_graph, uniform_random_graph
 from repro.graph.partition import partition_by_bytes
 from repro.metrics.results import IterationStats
@@ -464,7 +475,7 @@ def _make_systems(graph):
     ]
 
 
-def run_end_to_end(num_vertices, num_edges, seed, repeats):
+def run_end_to_end(num_vertices, num_edges, seed, repeats, inject_slowdown=1.0):
     results = {}
     for algorithm, graph, program, source in _build_workloads(num_vertices, num_edges, seed):
         per_system = {}
@@ -473,6 +484,7 @@ def run_end_to_end(num_vertices, num_edges, seed, repeats):
             with seed_baseline():
                 before, result_before = _best_of(repeats, lambda: system.run(program, **kwargs))
             after, result_after = _best_of(repeats, lambda: system.run(program, **kwargs))
+            after *= inject_slowdown
             identical = bool(
                 np.array_equal(np.asarray(result_before.values), np.asarray(result_after.values))
             )
@@ -496,6 +508,56 @@ def run_end_to_end(num_vertices, num_edges, seed, repeats):
     return results
 
 
+# ----------------------------------------------------------------------
+# Perf-regression gate
+# ----------------------------------------------------------------------
+
+
+def _geomean(values):
+    return float(np.exp(np.mean(np.log(values))))
+
+
+def check_regressions(current, reference, tolerance):
+    """Compare end-to-end speedups against a reference payload.
+
+    Returns the list of failure strings (empty = gate passes).  The gated
+    quantity is each system's speedup **geomean across algorithms** — a
+    dimensionless, in-run-normalised number, so a slow CI runner shifts
+    both sides equally and only genuine hot-path regressions fire the
+    gate.  Per-entry smoke speedups on 10k-edge graphs jitter by up to
+    ~30%, which is why individual entries are reported but not gated.
+    """
+    current_by_system = {}
+    reference_by_system = {}
+    for algorithm, systems in current.get("end_to_end", {}).items():
+        for system_name, entry in systems.items():
+            ref_entry = reference.get("end_to_end", {}).get(algorithm, {}).get(system_name)
+            if not ref_entry or not entry.get("speedup") or not ref_entry.get("speedup"):
+                continue
+            current_by_system.setdefault(system_name, []).append(entry["speedup"])
+            reference_by_system.setdefault(system_name, []).append(ref_entry["speedup"])
+    if not current_by_system:
+        return ["no comparable end-to-end entries between run and reference"]
+
+    failures = []
+    print("== perf-regression gate (tolerance %.0f%%) ==" % (tolerance * 100))
+    for system_name in sorted(current_by_system):
+        current_geomean = _geomean(current_by_system[system_name])
+        reference_geomean = _geomean(reference_by_system[system_name])
+        floor = reference_geomean * (1.0 - tolerance)
+        ok = current_geomean >= floor
+        print(
+            "  %-9s speedup geomean %.2fx (reference %.2fx, floor %.2fx) %s"
+            % (system_name, current_geomean, reference_geomean, floor, "ok" if ok else "REGRESSION")
+        )
+        if not ok:
+            failures.append(
+                "%s: speedup geomean %.2fx fell below %.2fx (reference %.2fx - %.0f%%)"
+                % (system_name, current_geomean, floor, reference_geomean, tolerance * 100)
+            )
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--edges", type=int, default=1_000_000, help="target edge count of the generated graphs")
@@ -507,6 +569,26 @@ def main(argv=None):
         "--smoke",
         action="store_true",
         help="tiny CI run: 2k vertices / 10k edges, single repetition",
+    )
+    parser.add_argument(
+        "--check-against",
+        type=Path,
+        default=None,
+        metavar="REF.json",
+        help="fail (exit 1) when end-to-end speedups regress beyond the tolerance vs this reference",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional speedup drop before the gate fails (default 0.25)",
+    )
+    parser.add_argument(
+        "--inject-slowdown",
+        type=float,
+        default=1.0,
+        metavar="FACTOR",
+        help="multiply measured current-code times by FACTOR (validates that the gate fires)",
     )
     args = parser.parse_args(argv)
 
@@ -525,7 +607,9 @@ def main(argv=None):
         print("  %-26s before %8.5fs  after %8.5fs  speedup %6.1fx" % (name, entry["before_s"], entry["after_s"], entry["speedup"]))
 
     print("== end-to-end (|V| = %d, |E| ~ %d) ==" % (args.vertices, args.edges))
-    end_to_end = run_end_to_end(args.vertices, args.edges, args.seed, args.repeats)
+    end_to_end = run_end_to_end(
+        args.vertices, args.edges, args.seed, args.repeats, inject_slowdown=args.inject_slowdown
+    )
 
     payload = {
         "meta": {
@@ -550,6 +634,15 @@ def main(argv=None):
         "HyTGraph end-to-end speedups: PR %.2fx, SSSP %.2fx (target >= 3x on ~1M-edge graphs)"
         % (hytgraph_pr, hytgraph_sssp)
     )
+
+    if args.check_against is not None:
+        reference = json.loads(args.check_against.read_text())
+        failures = check_regressions(payload, reference, args.tolerance)
+        if failures:
+            for failure in failures:
+                print("FAIL: %s" % failure)
+            raise SystemExit(1)
+        print("perf-regression gate passed (reference: %s)" % args.check_against)
     return payload
 
 

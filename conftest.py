@@ -1,13 +1,19 @@
 """Repository-level pytest configuration.
 
-Ensures ``src/`` is importable even when the package has not been
-installed (useful in offline environments where editable installs are
-unavailable).
+The supported setup is an editable install (``pip install -e .``), which
+exposes the ``repro`` package and the ``repro-graph`` console script.  In
+offline environments where PEP 660 editable installs are unavailable
+(no ``wheel``), fall back to putting ``src/`` on ``sys.path`` directly —
+``python setup.py develop`` also works there.
 """
 
+from __future__ import annotations
+
+import importlib.util
 import sys
 from pathlib import Path
 
-_SRC = Path(__file__).resolve().parent / "src"
-if str(_SRC) not in sys.path:
-    sys.path.insert(0, str(_SRC))
+if importlib.util.find_spec("repro") is None:
+    _SRC = Path(__file__).resolve().parent / "src"
+    if str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))

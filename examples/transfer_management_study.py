@@ -19,9 +19,7 @@ Run it with:  python examples/transfer_management_study.py
 
 from __future__ import annotations
 
-import numpy as np
 
-from repro import make_algorithm
 from repro.bench.workloads import build_workload
 from repro.metrics.tables import format_table
 from repro.transfer.base import EngineKind

@@ -115,6 +115,8 @@ def build_workload(
     scale: float = DEFAULT_SCALE,
     preset: HardwareConfig | str | None = None,
     graph: CSRGraph | None = None,
+    num_devices: int = 1,
+    interconnect: str | None = None,
 ) -> Workload:
     """Build one experiment cell.
 
@@ -122,6 +124,11 @@ def build_workload(
     connected components); other algorithms use the directed, unweighted
     stand-in.  A pre-built ``graph`` can be supplied to share loading
     across several workloads (the Figure 9 RMAT sweep does this).
+
+    ``num_devices > 1`` attaches that many GPUs of the (scaled) preset —
+    each keeps the full scaled per-device memory, so aggregate device
+    memory grows with the device count — over the named ``interconnect``
+    (``"nvlink"`` or ``"pcie-peer"``).
     """
     algorithm_key = algorithm.lower()
     program = make_algorithm(algorithm_key)
@@ -136,6 +143,12 @@ def build_workload(
         graph = graph.symmetrize()
         graph = CSRGraph(graph.row_offset, graph.column_index, graph.edge_value, name=dataset)
     source = pick_source(graph) if program.needs_source else None
+    if isinstance(preset, str):
+        preset = GPU_PRESETS[preset]
+    if num_devices != 1 or interconnect is not None:
+        # Attach the devices before scaling so the interconnect latency is
+        # scaled down together with the other fixed per-event overheads.
+        preset = (preset or gtx_2080ti()).with_devices(num_devices, interconnect)
     config = scaled_config_for(graph, dataset if dataset.upper() in DATASETS else None, preset)
     return Workload(
         dataset=dataset,

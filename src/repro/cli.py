@@ -26,6 +26,7 @@ from repro.bench.workloads import build_workload
 from repro.graph.datasets import dataset_names, load_dataset
 from repro.graph.properties import summarize
 from repro.metrics.tables import format_table
+from repro.sim.config import INTERCONNECT_PRESETS
 from repro.systems import SYSTEMS
 
 __all__ = ["main", "build_parser"]
@@ -51,6 +52,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--system", default="hytgraph", choices=sorted(SYSTEMS))
     run.add_argument("--scale", type=float, default=0.5)
     run.add_argument("--gpu", default=None, help="GPU preset name (e.g. GTX-1080, P100)")
+    run.add_argument("--devices", type=int, default=1,
+                     help="number of GPUs (>1 enables the sharded multi-GPU layer)")
+    run.add_argument("--interconnect", default=None, choices=sorted(INTERCONNECT_PRESETS),
+                     help="inter-GPU link preset (default: nvlink)")
     run.add_argument("--iterations", action="store_true", help="print the per-iteration table")
 
     compare = subparsers.add_parser("compare", help="run one workload on several systems")
@@ -60,6 +65,10 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=sorted(SYSTEMS))
     compare.add_argument("--scale", type=float, default=0.5)
     compare.add_argument("--gpu", default=None, help="GPU preset name")
+    compare.add_argument("--devices", type=int, default=1,
+                         help="number of GPUs (>1 enables the sharded multi-GPU layer)")
+    compare.add_argument("--interconnect", default=None, choices=sorted(INTERCONNECT_PRESETS),
+                         help="inter-GPU link preset (default: nvlink)")
     return parser
 
 
@@ -72,8 +81,20 @@ def _cmd_info(args: argparse.Namespace) -> str:
     return format_table(rows, title="Dataset stand-ins (scale=%g)" % args.scale)
 
 
+def _multi_device_capable(system_name: str) -> bool:
+    return getattr(SYSTEMS[system_name], "supports_multi_device", False)
+
+
 def _cmd_run(args: argparse.Namespace) -> str:
-    workload = build_workload(args.dataset, args.algorithm, scale=args.scale, preset=args.gpu)
+    if args.devices > 1 and not _multi_device_capable(args.system):
+        raise SystemExit(
+            "system %r has no multi-device execution path; drop --devices or pick one of: %s"
+            % (args.system, ", ".join(sorted(name for name in SYSTEMS if _multi_device_capable(name))))
+        )
+    workload = build_workload(
+        args.dataset, args.algorithm, scale=args.scale, preset=args.gpu,
+        num_devices=args.devices, interconnect=args.interconnect,
+    )
     result = workload.run(args.system)
     lines = [
         "%s / %s on %s (%d vertices, %d edges)" % (
@@ -91,6 +112,13 @@ def _cmd_run(args: argparse.Namespace) -> str:
             result.total_compaction_time, result.total_transfer_time, result.total_kernel_time,
         ),
     ]
+    if args.devices > 1:
+        lines.append(
+            "multi-GPU: %d devices over %s, boundary sync %.3f KB in %.6f s" % (
+                args.devices, workload.config.interconnect_kind,
+                result.total_interconnect_bytes / 1024, result.total_sync_time,
+            )
+        )
     text = "\n".join(lines) + "\n"
     if args.iterations:
         rows = [
@@ -109,9 +137,23 @@ def _cmd_run(args: argparse.Namespace) -> str:
 
 
 def _cmd_compare(args: argparse.Namespace) -> str:
-    workload = build_workload(args.dataset, args.algorithm, scale=args.scale, preset=args.gpu)
+    workload = build_workload(
+        args.dataset, args.algorithm, scale=args.scale, preset=args.gpu,
+        num_devices=args.devices, interconnect=args.interconnect,
+    )
+    systems = list(args.systems)
+    notes = ""
+    if args.devices > 1:
+        skipped = [name for name in systems if not _multi_device_capable(name)]
+        systems = [name for name in systems if _multi_device_capable(name)]
+        if skipped:
+            notes = "skipped (no multi-device path): %s\n" % ", ".join(skipped)
+        if not systems:
+            raise SystemExit(
+                "none of the requested systems has a multi-device execution path; drop --devices"
+            )
     rows = []
-    for system_name in args.systems:
+    for system_name in systems:
         result = workload.run(system_name)
         rows.append(
             {
@@ -125,12 +167,12 @@ def _cmd_compare(args: argparse.Namespace) -> str:
     fastest = rows[0]["time (s)"]
     for row in rows:
         row["slowdown"] = round(row["time (s)"] / fastest, 2)
-    return format_table(
-        rows,
-        title="%s on %s (scale=%g, %s)" % (
-            args.algorithm.upper(), args.dataset, args.scale, workload.config.name,
-        ),
+    title = "%s on %s (scale=%g, %s)" % (
+        args.algorithm.upper(), args.dataset, args.scale, workload.config.name,
     )
+    if args.devices > 1:
+        title += " x%d GPUs over %s" % (args.devices, workload.config.interconnect_kind)
+    return notes + format_table(rows, title=title)
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -46,17 +46,25 @@ from repro.algorithms.base import ProgramState, VertexProgram
 from repro.core.combiner import ScheduledTask, TaskCombiner
 from repro.core.cost_model import CostModel
 from repro.core.priority import ContributionScheduler
-from repro.core.selection import EngineSelector, SelectionThresholds
+from repro.core.selection import EngineSelector, SelectionResult, SelectionThresholds
 from repro.graph.csr import CSRGraph
-from repro.graph.partition import Partitioning, partition_by_bytes, partition_by_count
+from repro.graph.partition import (
+    DeviceShard,
+    Partitioning,
+    ShardedPartitioning,
+    partition_by_bytes,
+    partition_by_count,
+)
 from repro.graph.reorder import ReorderedGraph, hub_sort
 from repro.metrics.results import IterationStats, RunResult
 from repro.sim.config import HardwareConfig, default_config
 from repro.sim.kernel import KernelModel
+from repro.sim.multi_gpu import MultiDeviceScheduler
 from repro.sim.streams import StreamScheduler, StreamTask
-from repro.transfer.base import EngineKind, TransferEngine
+from repro.transfer.base import EngineKind, TransferEngine, TransferOutcome
 from repro.transfer.explicit_compaction import ExplicitCompactionEngine
 from repro.transfer.explicit_filter import ExplicitFilterEngine
+from repro.transfer.residency import ShardResidency
 from repro.transfer.zero_copy import ZeroCopyEngine
 
 __all__ = ["HyTGraphOptions", "HyTGraphEngine"]
@@ -156,6 +164,19 @@ class HyTGraphEngine:
             EngineKind.IMP_ZERO_COPY: ZeroCopyEngine(self.graph, self.config),
         }
 
+        # Multi-GPU sharded execution (config.num_devices > 1): contiguous
+        # partition-range shards, per-device shard residency and one
+        # stream scheduler per device sharing the host PCIe resource.
+        # num_devices == 1 never touches this state, so single-device runs
+        # are bitwise identical to the original engine.
+        self.sharding: ShardedPartitioning | None = None
+        self.residency: ShardResidency | None = None
+        self.multi_scheduler: MultiDeviceScheduler | None = None
+        if self.config.num_devices > 1:
+            self.sharding = ShardedPartitioning(self.partitioning, self.config.num_devices)
+            self.residency = ShardResidency(self.partitioning, self.sharding, self.config)
+            self.multi_scheduler = MultiDeviceScheduler(self.config)
+
     # ------------------------------------------------------------------
     # Setup helpers
     # ------------------------------------------------------------------
@@ -189,6 +210,8 @@ class HyTGraphEngine:
 
         for engine in self.engines.values():
             engine.reset()
+        if self.residency is not None:
+            self.residency.reset()
 
         result = RunResult(
             system=self.name,
@@ -202,10 +225,15 @@ class HyTGraphEngine:
                 "contribution_scheduling": self.options.contribution_scheduling,
             },
         )
+        if self.sharding is not None:
+            result.extra["num_devices"] = self.config.num_devices
+            result.extra["interconnect"] = self.config.interconnect_kind
+            result.extra["resident_partitions"] = self.residency.num_resident
 
+        run_iteration = self._run_iteration if self.sharding is None else self._run_iteration_multi
         iteration = 0
         while pending.any() and iteration < self.options.max_iterations:
-            stats = self._run_iteration(iteration, program, state, pending)
+            stats = run_iteration(iteration, program, state, pending)
             result.iterations.append(stats)
             iteration += 1
 
@@ -373,3 +401,218 @@ class HyTGraphEngine:
         boundaries.append(partitions[-1].vertex_end)
         cuts = np.searchsorted(active, boundaries)
         return engine.transfer_task(partitions, active, cuts)
+
+    # ------------------------------------------------------------------
+    # Multi-GPU sharded execution
+    # ------------------------------------------------------------------
+    def _run_iteration_multi(
+        self,
+        iteration: int,
+        program: VertexProgram,
+        state: ProgramState,
+        pending: np.ndarray,
+    ) -> IterationStats:
+        """One iteration of the sharded multi-GPU execution path.
+
+        The frontier and value arrays stay global: every device reads and
+        writes the same program state, mirroring how real sharded runtimes
+        keep vertex values consistent through the boundary exchange.  Task
+        generation, contribution scheduling and stream scheduling operate
+        per device; the host CPU and PCIe are shared; the iteration ends
+        with the boundary-vertex delta exchange over the interconnect.
+        """
+        graph = self.graph
+        sharding = self.sharding
+        active_ids = np.flatnonzero(pending)
+        active_vertex_count = int(active_ids.size)
+        active_edge_count = int(graph.out_degrees[active_ids].sum())
+
+        sinks = np.flatnonzero(pending & self._sink_mask)
+        if sinks.size:
+            pending[sinks] = False
+            program.process(graph, state, sinks)
+
+        # ----- Stage 1: per-device cost-aware task generation --------------
+        costs = self.cost_model.estimate(pending, active_ids=active_ids)
+        selection = self._force_resident_filter(self.selector.select(costs))
+        device_task_lists: list[list[ScheduledTask]] = []
+        for shard in sharding:
+            device_task_lists.append(self._device_tasks(shard, selection, pending, active_ids, program, state))
+        # Each device scans only its own shard's partitions, concurrently.
+        widest_shard = max((shard.num_partitions for shard in sharding), default=0)
+        generation_overhead = self.kernel_model.device_scan_time(widest_shard)
+
+        # ----- Stage 2: per-device asynchronous task execution -------------
+        stream_task_lists: list[list[StreamTask]] = [[] for _ in sharding]
+        remote_updates = [0] * sharding.num_devices
+        total_transfer_bytes = 0
+        total_processed_edges = 0
+        engine_task_counts: dict[str, int] = {}
+
+        # Devices drain their task queues concurrently; interleaving the
+        # per-device priority orders round-robin keeps the global value
+        # updates deterministic while modelling parallel progress.
+        order = 0
+        longest = max((len(tasks) for tasks in device_task_lists), default=0)
+        for step in range(longest):
+            for device, tasks in enumerate(device_task_lists):
+                if step >= len(tasks):
+                    continue
+                task = tasks[step]
+                shard = sharding[device]
+                processed_edges, remote_count = self._execute_task_device(task, program, state, pending, shard)
+                outcome = self._account_transfer_device(task)
+                kernel_time = self.kernel_model.kernel_time(processed_edges, num_kernels=1)
+                stream_task_lists[device].append(
+                    StreamTask(
+                        name=task.label,
+                        engine=task.engine.value,
+                        cpu_time=outcome.cpu_time,
+                        transfer_time=outcome.transfer_time,
+                        kernel_time=kernel_time,
+                        overlapped_transfer=outcome.overlapped,
+                        priority=float(order),
+                    )
+                )
+                order += 1
+                remote_updates[device] += remote_count
+                total_transfer_bytes += outcome.bytes_transferred
+                total_processed_edges += processed_edges
+                engine_task_counts[task.engine.value] = engine_task_counts.get(task.engine.value, 0) + 1
+
+        # ----- Stage 3: boundary-vertex synchronisation --------------------
+        sync_bytes = [count * self.config.boundary_update_bytes for count in remote_updates]
+        timeline = self.multi_scheduler.schedule(stream_task_lists, sync_bytes)
+        iteration_time = timeline.makespan + generation_overhead
+
+        return IterationStats(
+            index=iteration,
+            time=iteration_time,
+            active_vertices=active_vertex_count,
+            active_edges=active_edge_count,
+            transfer_bytes=total_transfer_bytes,
+            compaction_time=timeline.busy_time("cpu"),
+            transfer_time=timeline.busy_time("pcie"),
+            kernel_time=timeline.busy_time("gpu"),
+            processed_edges=total_processed_edges,
+            engine_partitions=selection.counts(),
+            engine_tasks=engine_task_counts,
+            interconnect_bytes=int(sum(sync_bytes)),
+            sync_time=timeline.sync_time,
+        )
+
+    def _force_resident_filter(self, selection: SelectionResult) -> SelectionResult:
+        """Pin resident partitions to the filter engine.
+
+        A partition resident in its device's memory needs no per-iteration
+        transfer at all; compacting or zero-copy-reading it would move
+        bytes it already holds.  The filter path prices it correctly:
+        one whole-partition copy on first touch, free afterwards
+        (:meth:`_account_transfer_device`).
+        """
+        if self.residency is None or not self.residency.resident.any():
+            return selection
+        choices = list(selection.choices)
+        for index in np.flatnonzero(self.residency.resident):
+            if choices[index] is not None:
+                choices[index] = EngineKind.EXP_FILTER
+        return SelectionResult(choices=choices)
+
+    def _device_tasks(
+        self,
+        shard: DeviceShard,
+        selection: SelectionResult,
+        pending: np.ndarray,
+        active_ids: np.ndarray,
+        program: VertexProgram,
+        state: ProgramState,
+    ) -> list[ScheduledTask]:
+        """Combine and prioritise one device's shard-local tasks."""
+        if shard.num_partitions == 0:
+            return []
+        shard_choices: list[EngineKind | None] = [None] * self.partitioning.num_partitions
+        for index in shard.partition_indices():
+            shard_choices[index] = selection.choices[index]
+        shard_active = active_ids[
+            np.searchsorted(active_ids, shard.vertex_start) : np.searchsorted(active_ids, shard.vertex_end)
+        ]
+        tasks = self.combiner.combine(
+            self.partitioning, SelectionResult(choices=shard_choices), pending, active_ids=shard_active
+        )
+        return self.priority.prioritize(tasks, program, state)
+
+    def _execute_task_device(
+        self,
+        task: ScheduledTask,
+        program: VertexProgram,
+        state: ProgramState,
+        pending: np.ndarray,
+        shard: DeviceShard,
+    ) -> tuple[int, int]:
+        """Run one device's task; returns (edges processed, remote updates).
+
+        Remote updates are activation messages for vertices owned by
+        another shard — each becomes one ``(index entry, value)`` delta in
+        the iteration's boundary exchange.
+        """
+        graph = self.graph
+        ranges = self._task_vertex_ranges(task)
+        first_round = self._pending_in_ranges(pending, ranges)
+        if first_round.size == 0:
+            return 0, 0
+        pending[first_round] = False
+        processed_edges = int(graph.out_degrees[first_round].sum())
+        remote_count = 0
+        newly_active = program.process(graph, state, first_round)
+        if newly_active.size:
+            pending[newly_active] = True
+            remote_count += self._count_remote(newly_active, shard)
+
+        if not self.options.recompute_loaded:
+            return processed_edges, remote_count
+
+        if task.engine == EngineKind.EXP_FILTER:
+            second_round = self._pending_in_ranges(pending, ranges)
+        else:
+            second_round = first_round[pending[first_round]]
+        if second_round.size:
+            pending[second_round] = False
+            processed_edges += int(graph.out_degrees[second_round].sum())
+            newly_active = program.process(graph, state, second_round)
+            if newly_active.size:
+                pending[newly_active] = True
+                remote_count += self._count_remote(newly_active, shard)
+        return processed_edges, remote_count
+
+    @staticmethod
+    def _count_remote(vertices: np.ndarray, shard: DeviceShard) -> int:
+        """How many of ``vertices`` are owned by a different shard."""
+        return int(((vertices < shard.vertex_start) | (vertices >= shard.vertex_end)).sum())
+
+    def _account_transfer_device(self, task: ScheduledTask) -> TransferOutcome:
+        """Price one device task's data movement, skipping resident partitions.
+
+        Filter tasks may cover shard-resident partitions: those cost one
+        whole-partition explicit copy the first time they carry active
+        edges and nothing afterwards.  Every partition inside a task holds
+        at least one active vertex, so the billable filter cost is simply
+        the per-partition copy sum.  Compaction and zero-copy tasks never
+        cover resident partitions (:meth:`_force_resident_filter`).
+        """
+        if task.engine != EngineKind.EXP_FILTER:
+            return self._account_transfer(task)
+        billable, _ = self.residency.split_billable(task.partition_indices)
+        engine = self.engines[EngineKind.EXP_FILTER]
+        bytes_total = 0
+        transfer_time = 0.0
+        for index in billable:
+            edge_bytes = self.partitioning[index].edge_bytes
+            bytes_total += edge_bytes
+            transfer_time += engine.pcie.explicit_copy_time(edge_bytes)
+        return TransferOutcome(
+            engine=EngineKind.EXP_FILTER,
+            bytes_transferred=bytes_total,
+            transfer_time=transfer_time,
+            cpu_time=0.0,
+            overlapped=False,
+        )

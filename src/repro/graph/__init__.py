@@ -23,7 +23,14 @@ graph before and during processing:
 
 from repro.graph.csr import CSRGraph
 from repro.graph.frontier import Frontier
-from repro.graph.partition import EdgePartition, Partitioning, partition_by_bytes, partition_by_count
+from repro.graph.partition import (
+    DeviceShard,
+    EdgePartition,
+    Partitioning,
+    ShardedPartitioning,
+    partition_by_bytes,
+    partition_by_count,
+)
 from repro.graph.reorder import hub_scores, hub_sort_order, apply_vertex_order
 from repro.graph.generators import (
     rmat_graph,
@@ -41,6 +48,8 @@ __all__ = [
     "Frontier",
     "EdgePartition",
     "Partitioning",
+    "DeviceShard",
+    "ShardedPartitioning",
     "partition_by_bytes",
     "partition_by_count",
     "hub_scores",

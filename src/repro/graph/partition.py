@@ -22,7 +22,14 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 
-__all__ = ["EdgePartition", "Partitioning", "partition_by_bytes", "partition_by_count"]
+__all__ = [
+    "EdgePartition",
+    "Partitioning",
+    "DeviceShard",
+    "ShardedPartitioning",
+    "partition_by_bytes",
+    "partition_by_count",
+]
 
 DEFAULT_PARTITION_BYTES = 32 * 1024 * 1024
 
@@ -165,6 +172,140 @@ class Partitioning:
     def bytes_per_partition(self) -> np.ndarray:
         """Total edge-data bytes of every partition."""
         return np.array([p.edge_bytes for p in self.partitions], dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class DeviceShard:
+    """The contiguous run of partitions owned by one device.
+
+    Sharding keeps the single-device layout intact: a shard is a
+    half-open partition range ``[partition_start, partition_end)``,
+    which — because partitions tile the vertex range — is also a
+    contiguous vertex-id range.  Vertex ownership therefore resolves
+    with one bisection, and the per-device task generation reuses the
+    existing per-partition machinery unchanged.
+    """
+
+    device: int
+    partition_start: int
+    partition_end: int
+    vertex_start: int
+    vertex_end: int
+    edge_bytes: int
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of partitions in this shard."""
+        return self.partition_end - self.partition_start
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices owned by this shard's device."""
+        return self.vertex_end - self.vertex_start
+
+    def partition_indices(self) -> range:
+        """The partition indices belonging to this shard."""
+        return range(self.partition_start, self.partition_end)
+
+    def owns_vertex(self, vertex: int) -> bool:
+        """Whether ``vertex``'s adjacency list is owned by this device."""
+        return self.vertex_start <= vertex < self.vertex_end
+
+
+class ShardedPartitioning:
+    """A :class:`Partitioning` split across ``num_devices`` GPUs.
+
+    Shards are byte-balanced contiguous partition ranges, placed with the
+    same bisection-over-prefix-sums approach as :func:`partition_by_bytes`
+    (one ``searchsorted`` per device boundary over the cumulative
+    partition bytes).  When the graph has fewer partitions than devices
+    the trailing devices simply receive empty shards.
+    """
+
+    def __init__(self, partitioning: Partitioning, num_devices: int):
+        if num_devices < 1:
+            raise ValueError("num_devices must be at least 1")
+        self.partitioning = partitioning
+        self.num_devices = num_devices
+        self.shards = self._build_shards()
+        self._vertex_starts = np.array([shard.vertex_start for shard in self.shards], dtype=np.int64)
+        self._device_of_partition = np.zeros(partitioning.num_partitions, dtype=np.int64)
+        for shard in self.shards:
+            self._device_of_partition[shard.partition_start : shard.partition_end] = shard.device
+
+    def _build_shards(self) -> list[DeviceShard]:
+        partitioning = self.partitioning
+        num_partitions = partitioning.num_partitions
+        bytes_per_partition = partitioning.bytes_per_partition()
+        cumulative = np.cumsum(bytes_per_partition) if num_partitions else np.zeros(0, dtype=np.int64)
+        total = int(cumulative[-1]) if num_partitions else 0
+
+        boundaries = [0]
+        for device in range(1, self.num_devices):
+            threshold = device * total / self.num_devices
+            boundary = int(np.searchsorted(cumulative, threshold, side="left"))
+            boundary = min(max(boundary, boundaries[-1]), num_partitions)
+            boundaries.append(boundary)
+        boundaries.append(num_partitions)
+
+        shards = []
+        num_vertices = partitioning.graph.num_vertices
+        for device in range(self.num_devices):
+            start, end = boundaries[device], boundaries[device + 1]
+            if start < end:
+                vertex_start = partitioning[start].vertex_start
+                vertex_end = partitioning[end - 1].vertex_end
+                edge_bytes = int(bytes_per_partition[start:end].sum())
+            else:
+                # Empty shard: pin it to the vertex position of the
+                # boundary so the shard vertex ranges still tile.
+                vertex_start = partitioning[start].vertex_start if start < num_partitions else num_vertices
+                vertex_end = vertex_start
+                edge_bytes = 0
+            shards.append(
+                DeviceShard(
+                    device=device,
+                    partition_start=start,
+                    partition_end=end,
+                    vertex_start=vertex_start,
+                    vertex_end=vertex_end,
+                    edge_bytes=edge_bytes,
+                )
+            )
+        return shards
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self) -> Iterator[DeviceShard]:
+        return iter(self.shards)
+
+    def __getitem__(self, device: int) -> DeviceShard:
+        return self.shards[device]
+
+    def device_of_partition(self, index: int) -> int:
+        """Owning device of partition ``index``."""
+        return int(self._device_of_partition[index])
+
+    def device_of_vertices(self, vertices: np.ndarray) -> np.ndarray:
+        """Owning device of every vertex id in ``vertices``."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        # Empty shards share their vertex_start with the next shard;
+        # side="right" - 1 resolves the tie to the last shard whose range
+        # actually starts there, which is the non-empty one.
+        return np.clip(
+            np.searchsorted(self._vertex_starts, vertices, side="right") - 1,
+            0,
+            self.num_devices - 1,
+        )
+
+    def split_sorted_vertices(self, vertices: np.ndarray) -> list[np.ndarray]:
+        """Slice a sorted vertex-id array into one view per device."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        boundary_ids = [shard.vertex_start for shard in self.shards]
+        boundary_ids.append(self.shards[-1].vertex_end if self.shards else 0)
+        cuts = np.searchsorted(vertices, boundary_ids)
+        return [vertices[cuts[d] : cuts[d + 1]] for d in range(self.num_devices)]
 
 
 def _build_partitions(graph: CSRGraph, boundaries: list[int]) -> Partitioning:

@@ -44,6 +44,12 @@ class IterationStats:
         How many partitions chose each transfer engine this iteration.
     engine_tasks:
         How many scheduled tasks each engine contributed after combining.
+    interconnect_bytes:
+        Boundary-vertex delta bytes exchanged between devices at the end
+        of the iteration (0 on single-device runs).
+    sync_time:
+        Seconds of the boundary-synchronisation phase (0 on single-device
+        runs).
     """
 
     index: int
@@ -57,6 +63,8 @@ class IterationStats:
     processed_edges: int = 0
     engine_partitions: dict[str, int] = field(default_factory=dict)
     engine_tasks: dict[str, int] = field(default_factory=dict)
+    interconnect_bytes: int = 0
+    sync_time: float = 0.0
 
     def breakdown(self) -> dict[str, float]:
         """The Figure 3(b)/(c) style {compaction, transfer, computation} split."""
@@ -126,6 +134,16 @@ class RunResult:
     def total_processed_edges(self) -> int:
         """Total edges pushed by the vertex program across all iterations."""
         return int(sum(stat.processed_edges for stat in self.iterations))
+
+    @property
+    def total_interconnect_bytes(self) -> int:
+        """Total inter-GPU boundary-delta bytes (0 on single-device runs)."""
+        return int(sum(stat.interconnect_bytes for stat in self.iterations))
+
+    @property
+    def total_sync_time(self) -> float:
+        """Total boundary-synchronisation seconds (0 on single-device runs)."""
+        return float(sum(stat.sync_time for stat in self.iterations))
 
     def transfer_ratio(self, edge_data_bytes: int) -> float:
         """Transfer volume divided by one full pass over the edge data.

@@ -25,6 +25,7 @@ hardware, so simulation never affects answer correctness.
 from repro.sim.config import (
     HardwareConfig,
     GPU_PRESETS,
+    INTERCONNECT_PRESETS,
     gtx_1080,
     gtx_2080ti,
     tesla_p100,
@@ -34,11 +35,13 @@ from repro.sim.pcie import PCIeModel
 from repro.sim.memory import DeviceMemory, PageCache
 from repro.sim.compaction import CompactionEngine, CompactionResult
 from repro.sim.kernel import KernelModel
-from repro.sim.streams import StreamScheduler, StreamTask, Timeline, TimelineEntry
+from repro.sim.multi_gpu import MultiDeviceScheduler
+from repro.sim.streams import ResourceState, StreamScheduler, StreamTask, Timeline, TimelineEntry
 
 __all__ = [
     "HardwareConfig",
     "GPU_PRESETS",
+    "INTERCONNECT_PRESETS",
     "gtx_1080",
     "gtx_2080ti",
     "tesla_p100",
@@ -49,6 +52,8 @@ __all__ = [
     "CompactionEngine",
     "CompactionResult",
     "KernelModel",
+    "MultiDeviceScheduler",
+    "ResourceState",
     "StreamScheduler",
     "StreamTask",
     "Timeline",

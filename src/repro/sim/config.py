@@ -24,6 +24,7 @@ from dataclasses import dataclass, replace
 __all__ = [
     "HardwareConfig",
     "GPU_PRESETS",
+    "INTERCONNECT_PRESETS",
     "gtx_2080ti",
     "gtx_1080",
     "tesla_p100",
@@ -35,6 +36,17 @@ __all__ = [
 
 GiB = 1024 ** 3
 MiB = 1024 ** 2
+
+# Inter-GPU interconnect presets: (bandwidth bytes/s per direction and
+# device pair, latency seconds per synchronisation phase).  "nvlink"
+# models an NVLink 2.0-class point-to-point mesh (~25 GB/s per link);
+# "pcie-peer" models peer-to-peer DMA through the PCIe switch, which is
+# both slower and higher latency because every hop crosses the root
+# complex.
+INTERCONNECT_PRESETS: dict[str, tuple[float, float]] = {
+    "nvlink": (25e9, 10e-6),
+    "pcie-peer": (11e9, 25e-6),
+}
 
 
 @dataclass(frozen=True)
@@ -82,6 +94,19 @@ class HardwareConfig:
         ``d1`` — bytes per neighbor id / vertex value (4).
     index_entry_bytes:
         ``d2`` — bytes per compacted-index entry (8).
+    num_devices:
+        Number of GPUs attached to the host.  1 (the paper's testbed)
+        runs the single-device engines unchanged; larger values enable
+        the sharded multi-GPU execution layer.
+    interconnect_kind:
+        Inter-GPU link type, one of :data:`INTERCONNECT_PRESETS`
+        (``"nvlink"`` or ``"pcie-peer"``).  Only meaningful when
+        ``num_devices > 1``.
+    interconnect_bandwidth:
+        Bytes/second one device pair can exchange boundary deltas at.
+    interconnect_latency:
+        Fixed seconds per boundary-synchronisation phase (barrier plus
+        convergence-flag all-reduce).
     """
 
     name: str = "GTX-2080Ti"
@@ -102,6 +127,10 @@ class HardwareConfig:
     num_streams: int = 4
     vertex_value_bytes: int = 4
     index_entry_bytes: int = 8
+    num_devices: int = 1
+    interconnect_kind: str = "nvlink"
+    interconnect_bandwidth: float = 25e9
+    interconnect_latency: float = 10e-6
 
     def __post_init__(self) -> None:
         if self.pcie_request_bytes <= 0 or self.pcie_max_outstanding <= 0:
@@ -112,6 +141,12 @@ class HardwareConfig:
             raise ValueError("um_peak_fraction must be in (0, 1]")
         if self.pcie_bandwidth <= 0 or self.gpu_memory_bandwidth <= 0:
             raise ValueError("bandwidths must be positive")
+        if self.num_devices < 1:
+            raise ValueError("num_devices must be at least 1")
+        if self.interconnect_bandwidth <= 0:
+            raise ValueError("interconnect_bandwidth must be positive")
+        if self.interconnect_latency < 0:
+            raise ValueError("interconnect_latency must be non-negative")
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -136,6 +171,16 @@ class HardwareConfig:
         """Peak unified-memory migration bandwidth in bytes/second."""
         return self.pcie_bandwidth * self.um_peak_fraction
 
+    @property
+    def is_multi_device(self) -> bool:
+        """Whether the sharded multi-GPU execution layer is active."""
+        return self.num_devices > 1
+
+    @property
+    def boundary_update_bytes(self) -> int:
+        """Bytes per boundary-vertex delta message (id entry + value)."""
+        return self.index_entry_bytes + self.vertex_value_bytes
+
     # ------------------------------------------------------------------
     # Adjusted copies
     # ------------------------------------------------------------------
@@ -158,11 +203,12 @@ class HardwareConfig:
     def scaled(self, scale: float) -> "HardwareConfig":
         """A copy scaled for graphs ``scale`` times the paper's size.
 
-        Both the device-memory capacity and the fixed per-kernel launch
-        overhead are multiplied by ``scale`` so that their magnitude
-        *relative to per-partition transfer and kernel times* stays what it
-        is on the paper's billion-edge graphs.  Bandwidths, request sizes
-        and page sizes are physical constants and stay untouched.
+        The device-memory capacity and the fixed per-event overheads
+        (kernel launch, interconnect synchronisation latency) are
+        multiplied by ``scale`` so that their magnitude *relative to
+        per-partition transfer and kernel times* stays what it is on the
+        paper's billion-edge graphs.  Bandwidths, request sizes and page
+        sizes are physical constants and stay untouched.
         """
         if scale <= 0:
             raise ValueError("scale must be positive")
@@ -170,6 +216,7 @@ class HardwareConfig:
             self,
             gpu_memory_bytes=max(1, int(self.gpu_memory_bytes * scale)),
             gpu_kernel_launch_overhead=self.gpu_kernel_launch_overhead * scale,
+            interconnect_latency=self.interconnect_latency * scale,
         )
 
     def with_streams(self, num_streams: int) -> "HardwareConfig":
@@ -177,6 +224,31 @@ class HardwareConfig:
         if num_streams <= 0:
             raise ValueError("num_streams must be positive")
         return replace(self, num_streams=num_streams)
+
+    def with_devices(self, num_devices: int, interconnect: str | None = None) -> "HardwareConfig":
+        """A copy attached to ``num_devices`` GPUs of this preset.
+
+        Each device keeps the preset's per-device memory and bandwidth
+        (so the aggregate device memory grows with ``num_devices``);
+        ``interconnect`` names one of :data:`INTERCONNECT_PRESETS` and
+        defaults to the current kind.
+        """
+        if num_devices < 1:
+            raise ValueError("num_devices must be at least 1")
+        kind = interconnect or self.interconnect_kind
+        if kind not in INTERCONNECT_PRESETS:
+            raise KeyError(
+                "unknown interconnect %r; available: %s"
+                % (kind, ", ".join(sorted(INTERCONNECT_PRESETS)))
+            )
+        bandwidth, latency = INTERCONNECT_PRESETS[kind]
+        return replace(
+            self,
+            num_devices=num_devices,
+            interconnect_kind=kind,
+            interconnect_bandwidth=bandwidth,
+            interconnect_latency=latency,
+        )
 
 
 def gtx_2080ti() -> HardwareConfig:

@@ -4,13 +4,24 @@ The scheduler in :mod:`repro.sim.streams` assigns every task's stages
 (CPU compaction, PCIe transfer, GPU kernel) to simulated resources; the
 resulting :class:`TimelineEntry` records are what the per-iteration
 breakdown figures (Figure 3b/3c, Figure 7c/7d) aggregate.
+
+Multi-GPU runs add two things to the same records: every entry carries
+the ``device`` that executed it, and each iteration ends with one
+boundary-synchronisation entry occupying the ``"interconnect"`` resource
+(the inter-GPU delta exchange; see :mod:`repro.sim.multi_gpu`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["StageSpan", "TimelineEntry", "Timeline"]
+__all__ = ["StageSpan", "TimelineEntry", "Timeline", "INTERCONNECT_RESOURCE", "SYNC_ENGINE"]
+
+#: Resource name of the inter-GPU interconnect in multi-device timelines.
+INTERCONNECT_RESOURCE = "interconnect"
+
+#: Engine label of the per-iteration boundary-synchronisation entry.
+SYNC_ENGINE = "sync"
 
 
 @dataclass(frozen=True)
@@ -29,12 +40,18 @@ class StageSpan:
 
 @dataclass(frozen=True)
 class TimelineEntry:
-    """Scheduling record of one task."""
+    """Scheduling record of one task.
+
+    ``device`` is the GPU the task ran on (0 on single-device runs; -1
+    marks collective entries such as the boundary synchronisation, which
+    involve every device).
+    """
 
     name: str
     engine: str
     stream: int
     spans: tuple[StageSpan, ...]
+    device: int = 0
 
     @property
     def start(self) -> float:
@@ -72,3 +89,12 @@ class Timeline:
         for entry in self.entries:
             totals[entry.engine] = totals.get(entry.engine, 0.0) + (entry.end - entry.start)
         return totals
+
+    def device_entries(self, device: int) -> list[TimelineEntry]:
+        """The entries that ran on ``device`` (excluding collective entries)."""
+        return [entry for entry in self.entries if entry.device == device]
+
+    @property
+    def sync_time(self) -> float:
+        """Total interconnect occupancy (boundary synchronisation phases)."""
+        return self.busy_time(INTERCONNECT_RESOURCE)

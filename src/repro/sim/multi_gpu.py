@@ -1,0 +1,115 @@
+"""Multi-GPU scheduling: per-device streams, one host, one interconnect.
+
+The sharded execution layer runs one :class:`~repro.sim.streams.StreamScheduler`
+per device.  The schedulers contend for two *shared host* resources — the
+CPU compaction engine and the host PCIe complex (every explicit copy and
+zero-copy read crosses the same root complex) — while each device brings
+its own GPU and its own CUDA streams.  Tasks from different devices are
+interleaved in global priority order, which models all devices making
+progress concurrently.
+
+Every iteration ends with a **boundary synchronisation phase**: devices
+exchange the delta updates they produced for vertices owned by other
+shards (one ``(compacted-index entry, value)`` message per remote
+activation) plus a convergence-flag all-reduce.  The exchange runs
+all-to-all over dedicated inter-GPU links, so its duration is the fixed
+interconnect latency plus the busiest sender's bytes at the interconnect
+bandwidth.  The phase appears in the iteration timeline as one collective
+entry on the ``"interconnect"`` resource, after every device's last task.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sim.config import HardwareConfig
+from repro.sim.events import (
+    INTERCONNECT_RESOURCE,
+    SYNC_ENGINE,
+    StageSpan,
+    Timeline,
+    TimelineEntry,
+)
+from repro.sim.streams import ResourceState, StreamScheduler, StreamTask
+
+__all__ = ["MultiDeviceScheduler"]
+
+
+class MultiDeviceScheduler:
+    """Schedules per-device task lists onto N GPUs sharing one host."""
+
+    def __init__(self, config: HardwareConfig, num_devices: int | None = None):
+        self.config = config
+        self.num_devices = num_devices if num_devices is not None else config.num_devices
+        if self.num_devices < 1:
+            raise ValueError("num_devices must be at least 1")
+        #: One stream scheduler per device, as on real multi-GPU hosts.
+        self.device_schedulers = [StreamScheduler(config) for _ in range(self.num_devices)]
+
+    # ------------------------------------------------------------------
+    # Boundary synchronisation
+    # ------------------------------------------------------------------
+    def sync_duration(self, sync_bytes_per_device: Sequence[int] | None) -> float:
+        """Seconds of the per-iteration boundary synchronisation phase.
+
+        Single-device runs synchronise nothing.  Multi-device runs always
+        pay the interconnect latency (barrier + convergence all-reduce)
+        plus the busiest sender's outgoing delta bytes over its link.
+        """
+        if self.num_devices <= 1:
+            return 0.0
+        busiest = max(sync_bytes_per_device, default=0) if sync_bytes_per_device else 0
+        return self.config.interconnect_latency + busiest / self.config.interconnect_bandwidth
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        device_tasks: Sequence[list[StreamTask]],
+        sync_bytes_per_device: Sequence[int] | None = None,
+    ) -> Timeline:
+        """Schedule every device's tasks plus the boundary sync phase.
+
+        ``device_tasks[d]`` is device ``d``'s task list.  Tasks are
+        placed in global ``(priority, submission order, device)`` order
+        onto each device's own streams/GPU while the ``cpu`` and ``pcie``
+        resources are shared across all devices.
+        """
+        if len(device_tasks) != self.num_devices:
+            raise ValueError(
+                "expected %d device task lists, got %d" % (self.num_devices, len(device_tasks))
+            )
+
+        merged: list[tuple[float, int, int, StreamTask]] = []
+        for device, tasks in enumerate(device_tasks):
+            for position, task in enumerate(tasks):
+                merged.append((task.priority, position, device, task))
+        merged.sort(key=lambda item: item[:3])
+
+        cpu = ResourceState()
+        pcie = ResourceState()
+        gpus = [ResourceState() for _ in range(self.num_devices)]
+        stream_free = [[0.0] * self.config.num_streams for _ in range(self.num_devices)]
+        timeline = Timeline()
+
+        for _, _, device, task in merged:
+            timeline.entries.append(
+                self.device_schedulers[device].place(
+                    task, stream_free[device], cpu, pcie, gpus[device], device=device
+                )
+            )
+
+        if self.num_devices > 1:
+            start = timeline.makespan
+            duration = self.sync_duration(sync_bytes_per_device)
+            timeline.entries.append(
+                TimelineEntry(
+                    name="boundary-sync",
+                    engine=SYNC_ENGINE,
+                    stream=0,
+                    spans=(StageSpan(INTERCONNECT_RESOURCE, start, start + duration),),
+                    device=-1,
+                )
+            )
+        return timeline

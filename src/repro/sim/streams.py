@@ -24,12 +24,12 @@ figures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.config import HardwareConfig
 from repro.sim.events import StageSpan, Timeline, TimelineEntry
 
-__all__ = ["StreamTask", "StreamScheduler", "Timeline", "TimelineEntry"]
+__all__ = ["StreamTask", "StreamScheduler", "ResourceState", "Timeline", "TimelineEntry"]
 
 
 @dataclass
@@ -76,7 +76,15 @@ class StreamTask:
 
 
 @dataclass
-class _ResourceState:
+class ResourceState:
+    """When an exclusive simulated resource next becomes free.
+
+    Shared mutable state so several schedulers can contend for the same
+    physical resource: the multi-GPU layer passes one ``pcie`` (and one
+    ``cpu``) state to every device's scheduler while keeping the ``gpu``
+    states per device.
+    """
+
     free_at: float = 0.0
 
 
@@ -102,54 +110,72 @@ class StreamScheduler:
 
         ordered = sorted(enumerate(tasks), key=lambda pair: (pair[1].priority, pair[0]))
         stream_free = [0.0] * num_streams
-        cpu = _ResourceState()
-        pcie = _ResourceState()
-        gpu = _ResourceState()
+        cpu = ResourceState()
+        pcie = ResourceState()
+        gpu = ResourceState()
         timeline = Timeline()
 
         for _, task in ordered:
-            stream_index = min(range(num_streams), key=lambda s: stream_free[s])
-            cursor = stream_free[stream_index]
-            spans: list[StageSpan] = []
+            timeline.entries.append(self.place(task, stream_free, cpu, pcie, gpu))
+        return timeline
 
-            if task.cpu_time > 0:
-                start = max(cursor, cpu.free_at)
-                end = start + task.cpu_time
-                cpu.free_at = end
-                spans.append(StageSpan("cpu", start, end))
+    def place(
+        self,
+        task: StreamTask,
+        stream_free: list[float],
+        cpu: ResourceState,
+        pcie: ResourceState,
+        gpu: ResourceState,
+        device: int = 0,
+    ) -> TimelineEntry:
+        """Place one task onto this scheduler's streams and resources.
+
+        The resource states are caller-owned so they can be shared: the
+        multi-GPU layer hands every device's scheduler the same ``cpu``
+        and ``pcie`` states (one host) but a per-device ``gpu`` state and
+        ``stream_free`` list.
+        """
+        stream_index = min(range(len(stream_free)), key=lambda s: stream_free[s])
+        cursor = stream_free[stream_index]
+        spans: list[StageSpan] = []
+
+        if task.cpu_time > 0:
+            start = max(cursor, cpu.free_at)
+            end = start + task.cpu_time
+            cpu.free_at = end
+            spans.append(StageSpan("cpu", start, end))
+            cursor = end
+
+        if task.overlapped_transfer:
+            duration = max(task.transfer_time, task.kernel_time)
+            if duration > 0:
+                start = max(cursor, pcie.free_at, gpu.free_at)
+                end = start + duration
+                pcie.free_at = end
+                gpu.free_at = end
+                if task.transfer_time > 0:
+                    spans.append(StageSpan("pcie", start, start + task.transfer_time))
+                if task.kernel_time > 0:
+                    spans.append(StageSpan("gpu", start, start + task.kernel_time))
+                cursor = end
+        else:
+            if task.transfer_time > 0:
+                start = max(cursor, pcie.free_at)
+                end = start + task.transfer_time
+                pcie.free_at = end
+                spans.append(StageSpan("pcie", start, end))
+                cursor = end
+            if task.kernel_time > 0:
+                start = max(cursor, gpu.free_at)
+                end = start + task.kernel_time
+                gpu.free_at = end
+                spans.append(StageSpan("gpu", start, end))
                 cursor = end
 
-            if task.overlapped_transfer:
-                duration = max(task.transfer_time, task.kernel_time)
-                if duration > 0:
-                    start = max(cursor, pcie.free_at, gpu.free_at)
-                    end = start + duration
-                    pcie.free_at = end
-                    gpu.free_at = end
-                    if task.transfer_time > 0:
-                        spans.append(StageSpan("pcie", start, start + task.transfer_time))
-                    if task.kernel_time > 0:
-                        spans.append(StageSpan("gpu", start, start + task.kernel_time))
-                    cursor = end
-            else:
-                if task.transfer_time > 0:
-                    start = max(cursor, pcie.free_at)
-                    end = start + task.transfer_time
-                    pcie.free_at = end
-                    spans.append(StageSpan("pcie", start, end))
-                    cursor = end
-                if task.kernel_time > 0:
-                    start = max(cursor, gpu.free_at)
-                    end = start + task.kernel_time
-                    gpu.free_at = end
-                    spans.append(StageSpan("gpu", start, end))
-                    cursor = end
-
-            stream_free[stream_index] = cursor
-            timeline.entries.append(
-                TimelineEntry(name=task.name, engine=task.engine, stream=stream_index, spans=tuple(spans))
-            )
-        return timeline
+        stream_free[stream_index] = cursor
+        return TimelineEntry(
+            name=task.name, engine=task.engine, stream=stream_index, spans=tuple(spans), device=device
+        )
 
     def serial_time(self, tasks: list[StreamTask]) -> float:
         """Total time if every stage of every task ran back to back.

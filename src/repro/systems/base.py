@@ -8,10 +8,17 @@ import numpy as np
 
 from repro.algorithms.base import ProgramState, VertexProgram
 from repro.graph.csr import CSRGraph
-from repro.graph.partition import Partitioning, partition_by_bytes, partition_by_count
+from repro.graph.partition import (
+    DeviceShard,
+    Partitioning,
+    ShardedPartitioning,
+    partition_by_bytes,
+    partition_by_count,
+)
 from repro.metrics.results import RunResult
 from repro.sim.config import HardwareConfig, default_config
 from repro.sim.kernel import KernelModel
+from repro.sim.multi_gpu import MultiDeviceScheduler
 from repro.sim.pcie import PCIeModel
 from repro.sim.streams import StreamScheduler
 
@@ -33,6 +40,11 @@ class GraphSystem(ABC):
     #: Display name used in result tables.
     name: str = "system"
 
+    #: Whether the system implements a sharded multi-device execution
+    #: path.  Systems that don't refuse ``num_devices > 1`` configs
+    #: instead of silently running single-device.
+    supports_multi_device: bool = False
+
     def __init__(
         self,
         graph: CSRGraph,
@@ -48,6 +60,19 @@ class GraphSystem(ABC):
         self.kernel_model = KernelModel(self.config)
         self.pcie = PCIeModel(self.config)
         self.stream_scheduler = StreamScheduler(self.config)
+        # Multi-GPU sharded execution (config.num_devices > 1).  Systems
+        # with a multi-device path dispatch on ``self.sharding`` in run();
+        # num_devices == 1 leaves everything single-device and untouched.
+        self.sharding: ShardedPartitioning | None = None
+        self.multi_scheduler: MultiDeviceScheduler | None = None
+        if self.config.num_devices > 1:
+            if not self.supports_multi_device:
+                raise ValueError(
+                    "%s has no multi-device execution path; run it with num_devices=1"
+                    % self.name
+                )
+            self.sharding = ShardedPartitioning(self.partitioning, self.config.num_devices)
+            self.multi_scheduler = MultiDeviceScheduler(self.config)
 
     def _build_partitioning(
         self, num_partitions: int | None, partition_bytes: int | None
@@ -85,6 +110,42 @@ class GraphSystem(ABC):
         if active_vertices.size == 0:
             return 0
         return int(self.graph.out_degrees[active_vertices].sum())
+
+    # ------------------------------------------------------------------
+    # Multi-device helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _count_remote(vertices: np.ndarray, shard: DeviceShard) -> int:
+        """Activation messages from ``shard``'s device to other shards."""
+        return int(((vertices < shard.vertex_start) | (vertices >= shard.vertex_end)).sum())
+
+    def _sync_bytes(self, remote_updates: list[int]) -> list[int]:
+        """Per-device outgoing boundary-delta bytes from message counts."""
+        per_update = self.config.boundary_update_bytes
+        return [count * per_update for count in remote_updates]
+
+    def _process_per_device(
+        self,
+        program: VertexProgram,
+        state: ProgramState,
+        pending: np.ndarray,
+        per_device_active: list[np.ndarray],
+        remote_updates: list[int],
+    ) -> None:
+        """Each device pushes its shard's frontier slice, in device order.
+
+        The value arrays stay global (the boundary exchange is charged in
+        time and bytes, not re-simulated in the semantics), so activations
+        land directly in the shared pending bitmap; cross-shard ones are
+        counted as the emitting device's outgoing delta messages.
+        """
+        for device, device_active in enumerate(per_device_active):
+            if device_active.size == 0:
+                continue
+            newly_active = program.process(self.graph, state, device_active)
+            if newly_active.size:
+                pending[newly_active] = True
+                remote_updates[device] += self._count_remote(newly_active, self.sharding[device])
 
     @abstractmethod
     def run(self, program: VertexProgram, source: int | None = None) -> RunResult:

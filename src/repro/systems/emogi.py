@@ -30,8 +30,11 @@ class EmogiSystem(GraphSystem):
     """Synchronous zero-copy graph traversal."""
 
     name = "EMOGI"
+    supports_multi_device = True
 
     def run(self, program: VertexProgram, source: int | None = None) -> RunResult:
+        if self.sharding is not None:
+            return self._run_multi(program, source)
         state, pending, result = self._init_run(program, source)
         engine = ZeroCopyEngine(self.graph, self.config)
 
@@ -72,6 +75,75 @@ class EmogiSystem(GraphSystem):
                     processed_edges=active_edges,
                     engine_partitions={EngineKind.IMP_ZERO_COPY.value: 1},
                     engine_tasks={EngineKind.IMP_ZERO_COPY.value: 1},
+                )
+            )
+            iteration += 1
+
+        return self._finish_run(result, program, state, pending)
+
+    def _run_multi(self, program: VertexProgram, source: int | None) -> RunResult:
+        """Sharded zero-copy: each device reads its own shard's frontier.
+
+        Every device issues zero-copy reads for the active vertices it
+        owns; all reads cross the shared host PCIe complex, each device's
+        kernel overlaps its own reads, and the iteration ends with the
+        boundary-delta exchange.  EMOGI still reuses nothing across
+        iterations — sharding splits the work but not the traffic.
+        """
+        state, pending, result = self._init_run(program, source)
+        result.extra["num_devices"] = self.config.num_devices
+        result.extra["interconnect"] = self.config.interconnect_kind
+        engine = ZeroCopyEngine(self.graph, self.config)
+        sharding = self.sharding
+
+        iteration = 0
+        while pending.any() and iteration < self.max_iterations:
+            active_vertices = np.nonzero(pending)[0]
+            active_edges = self._active_edge_count(active_vertices)
+            per_device_active = sharding.split_sorted_vertices(active_vertices)
+
+            stream_task_lists: list[list[StreamTask]] = [[] for _ in sharding]
+            transfer_bytes = 0
+            active_devices = 0
+            for device, device_active in enumerate(per_device_active):
+                if device_active.size == 0:
+                    continue
+                active_devices += 1
+                outcome = engine.transfer(self.partitioning[0], device_active)
+                kernel_time = self.kernel_model.kernel_time(self._active_edge_count(device_active))
+                transfer_bytes += outcome.bytes_transferred
+                stream_task_lists[device].append(
+                    StreamTask(
+                        name="zero-copy-frontier-d%d" % device,
+                        engine=EngineKind.IMP_ZERO_COPY.value,
+                        transfer_time=outcome.transfer_time,
+                        kernel_time=kernel_time,
+                        overlapped_transfer=True,
+                    )
+                )
+
+            pending[active_vertices] = False
+            remote_updates = [0] * sharding.num_devices
+            self._process_per_device(program, state, pending, per_device_active, remote_updates)
+
+            sync_bytes = self._sync_bytes(remote_updates)
+            timeline = self.multi_scheduler.schedule(stream_task_lists, sync_bytes)
+
+            result.iterations.append(
+                IterationStats(
+                    index=iteration,
+                    time=timeline.makespan,
+                    active_vertices=int(active_vertices.size),
+                    active_edges=active_edges,
+                    transfer_bytes=transfer_bytes,
+                    compaction_time=0.0,
+                    transfer_time=timeline.busy_time("pcie"),
+                    kernel_time=timeline.busy_time("gpu"),
+                    processed_edges=active_edges,
+                    engine_partitions={EngineKind.IMP_ZERO_COPY.value: active_devices},
+                    engine_tasks={EngineKind.IMP_ZERO_COPY.value: active_devices},
+                    interconnect_bytes=int(sum(sync_bytes)),
+                    sync_time=timeline.sync_time,
                 )
             )
             iteration += 1

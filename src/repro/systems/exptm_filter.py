@@ -26,8 +26,11 @@ class ExpTMFilterSystem(GraphSystem):
     """Filter-based explicit transfer management (GraphReduce/GTS/Graphie style)."""
 
     name = "ExpTM-F"
+    supports_multi_device = True
 
     def run(self, program: VertexProgram, source: int | None = None) -> RunResult:
+        if self.sharding is not None:
+            return self._run_multi(program, source)
         state, pending, result = self._init_run(program, source)
         engine = ExplicitFilterEngine(self.graph, self.config)
 
@@ -81,6 +84,81 @@ class ExpTMFilterSystem(GraphSystem):
                     processed_edges=active_edges,
                     engine_partitions={EngineKind.EXP_FILTER.value: active_partition_count},
                     engine_tasks={EngineKind.EXP_FILTER.value: len(stream_tasks)},
+                )
+            )
+            iteration += 1
+
+        return self._finish_run(result, program, state, pending)
+
+    def _run_multi(self, program: VertexProgram, source: int | None) -> RunResult:
+        """Sharded ExpTM-filter: each device ships its own active partitions.
+
+        Every device transfers the active partitions of its shard in full
+        over the shared host PCIe and processes them on its own GPU; the
+        iteration ends with the boundary-delta exchange.  The redundancy
+        weakness is unchanged — sharding splits the partitions, not the
+        redundant bytes inside them.
+        """
+        state, pending, result = self._init_run(program, source)
+        result.extra["num_devices"] = self.config.num_devices
+        result.extra["interconnect"] = self.config.interconnect_kind
+        engine = ExplicitFilterEngine(self.graph, self.config)
+        sharding = self.sharding
+
+        iteration = 0
+        while pending.any() and iteration < self.max_iterations:
+            active_vertices = np.nonzero(pending)[0]
+            active_edges = self._active_edge_count(active_vertices)
+            per_device_active = sharding.split_sorted_vertices(active_vertices)
+
+            stream_task_lists: list[list[StreamTask]] = [[] for _ in sharding]
+            transfer_bytes = 0
+            active_partition_count = 0
+            task_count = 0
+            for partition in self.partitioning:
+                in_partition = active_vertices[
+                    (active_vertices >= partition.vertex_start) & (active_vertices < partition.vertex_end)
+                ]
+                if in_partition.size == 0:
+                    continue
+                device = sharding.device_of_partition(partition.index)
+                active_partition_count += 1
+                task_count += 1
+                outcome = engine.transfer(partition, in_partition)
+                kernel_time = self.kernel_model.kernel_time(self._active_edge_count(in_partition))
+                transfer_bytes += outcome.bytes_transferred
+                stream_task_lists[device].append(
+                    StreamTask(
+                        name="P%d-d%d" % (partition.index, device),
+                        engine=EngineKind.EXP_FILTER.value,
+                        transfer_time=outcome.transfer_time,
+                        kernel_time=kernel_time,
+                        overlapped_transfer=False,
+                    )
+                )
+
+            pending[active_vertices] = False
+            remote_updates = [0] * sharding.num_devices
+            self._process_per_device(program, state, pending, per_device_active, remote_updates)
+
+            sync_bytes = self._sync_bytes(remote_updates)
+            timeline = self.multi_scheduler.schedule(stream_task_lists, sync_bytes)
+
+            result.iterations.append(
+                IterationStats(
+                    index=iteration,
+                    time=timeline.makespan,
+                    active_vertices=int(active_vertices.size),
+                    active_edges=active_edges,
+                    transfer_bytes=transfer_bytes,
+                    compaction_time=timeline.busy_time("cpu"),
+                    transfer_time=timeline.busy_time("pcie"),
+                    kernel_time=timeline.busy_time("gpu"),
+                    processed_edges=active_edges,
+                    engine_partitions={EngineKind.EXP_FILTER.value: active_partition_count},
+                    engine_tasks={EngineKind.EXP_FILTER.value: task_count},
+                    interconnect_bytes=int(sum(sync_bytes)),
+                    sync_time=timeline.sync_time,
                 )
             )
             iteration += 1

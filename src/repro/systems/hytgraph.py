@@ -22,6 +22,7 @@ class HyTGraphSystem(GraphSystem):
     """The paper's hybrid-transfer-management system."""
 
     name = "HyTGraph"
+    supports_multi_device = True
 
     def __init__(
         self,

@@ -21,6 +21,7 @@ everything.
 from repro.transfer.base import EngineKind, TransferEngine, TransferOutcome
 from repro.transfer.explicit_filter import ExplicitFilterEngine
 from repro.transfer.explicit_compaction import ExplicitCompactionEngine
+from repro.transfer.residency import ShardResidency
 from repro.transfer.zero_copy import ZeroCopyEngine
 from repro.transfer.unified_memory import UnifiedMemoryEngine
 
@@ -30,6 +31,7 @@ __all__ = [
     "TransferOutcome",
     "ExplicitFilterEngine",
     "ExplicitCompactionEngine",
+    "ShardResidency",
     "ZeroCopyEngine",
     "UnifiedMemoryEngine",
 ]

@@ -16,14 +16,7 @@ from repro.algorithms.pagerank import DeltaPageRank
 from repro.algorithms.php import PHP
 from repro.algorithms.sssp import SSSP
 from repro.graph.csr import CSRGraph
-from repro.graph.generators import (
-    grid_graph,
-    path_graph,
-    power_law_graph,
-    random_weights,
-    star_graph,
-    uniform_random_graph,
-)
+from repro.graph.generators import grid_graph, path_graph, star_graph
 
 from tests.conftest import assert_distances_equal
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.sim.compaction import CompactionEngine
-from repro.sim.config import HardwareConfig
 from repro.sim.kernel import KernelModel
 
 

@@ -6,7 +6,6 @@ import pytest
 from repro.core.cost_model import CostModel
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import partition_by_count
-from repro.sim.config import HardwareConfig
 
 
 @pytest.fixture

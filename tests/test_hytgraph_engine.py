@@ -6,7 +6,6 @@ import pytest
 from repro.algorithms import BFS, ConnectedComponents, DeltaPageRank, PHP, SSSP, reference
 from repro.core.engine import HyTGraphEngine, HyTGraphOptions
 from repro.core.selection import SelectionThresholds
-from repro.sim.config import HardwareConfig
 from repro.transfer.base import EngineKind
 
 from tests.conftest import assert_distances_equal

@@ -12,8 +12,6 @@ from repro.algorithms import DeltaPageRank, SSSP, reference
 from repro.bench.workloads import build_workload
 from repro.core.engine import HyTGraphEngine, HyTGraphOptions
 from repro.graph.generators import power_law_graph, random_weights
-from repro.sim.config import HardwareConfig
-from repro.systems import make_system
 from repro.transfer.base import EngineKind
 
 from tests.conftest import assert_distances_equal

@@ -24,7 +24,6 @@ from repro.algorithms.pagerank import DeltaPageRank
 from repro.algorithms.php import PHP
 from repro.algorithms.sssp import SSSP
 from repro.core.kernels import (
-    DENSE_FRONTIER_FACTOR,
     legacy_kernels,
     push_and_activate,
     scatter_add,
@@ -33,7 +32,7 @@ from repro.core.kernels import (
     using_legacy_kernels,
 )
 from repro.graph.csr import CSRGraph
-from repro.graph.generators import random_weights, rmat_graph, uniform_random_graph
+from repro.graph.generators import rmat_graph, uniform_random_graph
 from repro.systems.hytgraph import HyTGraphSystem
 
 

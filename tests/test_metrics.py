@@ -1,6 +1,5 @@
 """Unit tests for run records and table formatting."""
 
-import numpy as np
 import pytest
 
 from repro.metrics.results import IterationStats, RunResult

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.sim.config import HardwareConfig
 from repro.sim.pcie import PCIeModel
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.graph.csr import CSRGraph
-from repro.graph.generators import power_law_graph, star_graph
+from repro.graph.generators import star_graph
 from repro.graph.reorder import (
     apply_vertex_order,
     degree_sort_order,

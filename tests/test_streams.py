@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.sim.config import HardwareConfig
 from repro.sim.streams import StreamScheduler, StreamTask
 
 
