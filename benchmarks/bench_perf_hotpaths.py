@@ -16,6 +16,12 @@ seed ("pre kernel-layer") implementation:
   restored (``seed_baseline``) and once with the current code.  Both
   modes must produce bitwise-identical per-vertex results — the harness
   asserts it.
+* **Multi-query serving** — batched vs sequential *simulated* speedup of
+  K SSSP sources through :class:`~repro.runtime.batch.QueryBatchRunner`
+  on a transfer-bound 2-device workload (HyTGraph and ExpTM-F).  These
+  numbers are deterministic simulation outputs, so the regression gate
+  holds them to the same tolerance as the wall-clock speedups: a drop
+  means the serving layer lost amortization, not that CI was slow.
 
 Results are written to ``BENCH_perf.json`` in the repository root so
 future PRs can track the perf trajectory.
@@ -65,9 +71,13 @@ from repro.core.engine import HyTGraphEngine
 from repro.core.kernels import legacy_kernels, push_and_activate, scatter_add, scatter_min
 from repro.graph.generators import rmat_graph, uniform_random_graph
 from repro.graph.partition import partition_by_bytes
+from repro.bench.workloads import batch_sources
 from repro.metrics.results import IterationStats
+from repro.runtime.batch import QueryBatchRunner
+from repro.sim.config import HardwareConfig
 from repro.sim.streams import StreamTask
 from repro.systems.emogi import EmogiSystem
+from repro.systems.exptm_filter import ExpTMFilterSystem
 from repro.systems.hytgraph import HyTGraphSystem
 from repro.systems.subway import SubwaySystem
 from repro.transfer.base import EngineKind
@@ -509,6 +519,54 @@ def run_end_to_end(num_vertices, num_edges, seed, repeats, inject_slowdown=1.0):
 
 
 # ----------------------------------------------------------------------
+# Multi-query serving throughput
+# ----------------------------------------------------------------------
+
+
+def run_batch_bench(num_vertices, num_edges, batch_size, devices=2):
+    """Batched vs sequential simulated speedup on a transfer-bound workload.
+
+    Unlike the wall-clock sections, the measured quantity here is
+    *simulated* makespan — deterministic for a given graph/config — so
+    any movement between runs is a real behaviour change in the serving
+    layer (lost residency warming, broken transfer dedup, scheduling
+    drift).  ``benchmarks/bench_batch_queries.py`` is the full version.
+    """
+    graph = rmat_graph(num_vertices, num_edges, seed=5, weighted=True, name="rmat-batch")
+    config = HardwareConfig(
+        gpu_memory_bytes=graph.edge_data_bytes // 2, pcie_bandwidth=1e9
+    ).with_devices(devices)
+    sources = batch_sources(graph, batch_size)
+    program = SSSP()
+
+    results = {}
+    for system_cls in (HyTGraphSystem, ExpTMFilterSystem):
+        system = system_cls(graph, config=config)
+        sequential = [system.run(program, source=source) for source in sources]
+        batch = QueryBatchRunner(system).run([(program, source) for source in sources])
+        for alone, batched in zip(sequential, batch.results):
+            if not np.array_equal(np.asarray(alone.values), np.asarray(batched.values)):
+                raise AssertionError(
+                    "%s: batched query values diverged from sequential" % system.name
+                )
+        stats = batch.amortization_vs(sequential)
+        results[system.name] = {
+            "queries": batch_size,
+            "devices": devices,
+            "speedup": stats["speedup"],
+            "sequential_s": stats["sequential_time"],
+            "batched_s": stats["batched_time"],
+            "queries_per_s": batch.queries_per_second,
+            "transfer_bytes_saved": stats["transfer_bytes_saved"],
+        }
+        print(
+            "  %-9s K=%-3d sequential %8.6fs  batched %8.6fs  speedup %5.2fx"
+            % (system.name, batch_size, stats["sequential_time"], stats["batched_time"], stats["speedup"])
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
 # Perf-regression gate
 # ----------------------------------------------------------------------
 
@@ -554,6 +612,25 @@ def check_regressions(current, reference, tolerance):
             failures.append(
                 "%s: speedup geomean %.2fx fell below %.2fx (reference %.2fx - %.0f%%)"
                 % (system_name, current_geomean, floor, reference_geomean, tolerance * 100)
+            )
+
+    # Multi-query serving throughput: deterministic simulated speedups,
+    # held to the same tolerance.
+    for system_name in sorted(current.get("batch", {})):
+        entry = current["batch"][system_name]
+        ref_entry = reference.get("batch", {}).get(system_name)
+        if not ref_entry or not entry.get("speedup") or not ref_entry.get("speedup"):
+            continue
+        floor = ref_entry["speedup"] * (1.0 - tolerance)
+        ok = entry["speedup"] >= floor
+        print(
+            "  %-9s batched speedup %.2fx (reference %.2fx, floor %.2fx) %s"
+            % (system_name, entry["speedup"], ref_entry["speedup"], floor, "ok" if ok else "REGRESSION")
+        )
+        if not ok:
+            failures.append(
+                "%s: batched serving speedup %.2fx fell below %.2fx (reference %.2fx - %.0f%%)"
+                % (system_name, entry["speedup"], floor, ref_entry["speedup"], tolerance * 100)
             )
     return failures
 
@@ -611,6 +688,13 @@ def main(argv=None):
         args.vertices, args.edges, args.seed, args.repeats, inject_slowdown=args.inject_slowdown
     )
 
+    if args.smoke:
+        batch_vertices, batch_edges, batch_size = 1_000, 8_000, 8
+    else:
+        batch_vertices, batch_edges, batch_size = 4_000, 40_000, 16
+    print("== multi-query serving (|V| = %d, K = %d, 2 devices) ==" % (batch_vertices, batch_size))
+    batch = run_batch_bench(batch_vertices, batch_edges, batch_size)
+
     payload = {
         "meta": {
             "harness": "bench_perf_hotpaths",
@@ -624,6 +708,7 @@ def main(argv=None):
         },
         "microbench": microbench,
         "end_to_end": end_to_end,
+        "batch": batch,
     }
     args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print("wrote %s" % args.out)

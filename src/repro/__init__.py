@@ -28,7 +28,8 @@ from repro.algorithms import make_algorithm, SSSP, BFS, ConnectedComponents, Del
 from repro.systems import make_system, HyTGraphSystem, SubwaySystem, EmogiSystem, GrusSystem
 from repro.core import HyTGraphEngine, HyTGraphOptions
 from repro.sim import HardwareConfig, default_config, GPU_PRESETS
-from repro.metrics import RunResult, IterationStats
+from repro.metrics import RunResult, IterationStats, BatchResult
+from repro.runtime import ExecutionContext, IterationDriver, QueryBatchRunner
 
 __version__ = "1.0.0"
 
@@ -56,5 +57,9 @@ __all__ = [
     "GPU_PRESETS",
     "RunResult",
     "IterationStats",
+    "BatchResult",
+    "ExecutionContext",
+    "IterationDriver",
+    "QueryBatchRunner",
     "__version__",
 ]

@@ -11,6 +11,7 @@ memory, the other graphs do not — Section VII-B2).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -18,15 +19,17 @@ from repro.algorithms import make_algorithm
 from repro.algorithms.base import VertexProgram
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import DATASETS, dataset_names, load_dataset
-from repro.metrics.results import RunResult
+from repro.metrics.results import BatchResult, RunResult
+from repro.runtime.batch import QueryBatchRunner
 from repro.sim.config import GPU_PRESETS, HardwareConfig, gtx_2080ti
-from repro.systems import make_system
+from repro.systems import SYSTEMS, make_system
 
 __all__ = [
     "PAPER_EDGE_COUNTS",
     "Workload",
     "paper_datasets",
     "scaled_config_for",
+    "batch_sources",
     "build_workload",
     "run_workload",
 ]
@@ -66,8 +69,61 @@ class Workload:
 
     def run(self, system_name: str, **system_kwargs) -> RunResult:
         """Run this workload on the named system."""
+        self.check_multi_device(system_name)
         system = make_system(system_name, self.graph, config=self.config, **system_kwargs)
         return system.run(self.program, source=self.source)
+
+    def check_multi_device(self, system_name: str) -> None:
+        """Refuse multi-device configs on systems without a sharded path.
+
+        Raised here (before the system is even built) so CLI and
+        benchmark callers get one clear error instead of silently
+        running single-device.
+        """
+        if self.config.num_devices <= 1:
+            return
+        system_cls = SYSTEMS.get(system_name.lower())
+        if system_cls is None:
+            # Same message shape as make_system so a typo reads the same
+            # at every device count.
+            raise KeyError(
+                "unknown system %r; available: %s" % (system_name, ", ".join(sorted(SYSTEMS)))
+            )
+        if getattr(system_cls, "supports_multi_device", False):
+            return
+        capable = sorted(
+            name for name, cls in SYSTEMS.items() if getattr(cls, "supports_multi_device", False)
+        )
+        raise ValueError(
+            "system %r has no multi-device execution path (%d devices requested); "
+            "run it with one device or pick one of: %s"
+            % (system_name, self.config.num_devices, ", ".join(capable))
+        )
+
+    def make_queries(self, sources: Sequence[int | None]) -> list[tuple[VertexProgram, int | None]]:
+        """Build (program, source) query pairs for this workload's algorithm."""
+        return [(self.program, source) for source in sources]
+
+    def run_batch(
+        self, system_name: str, sources: Sequence[int | None], **system_kwargs
+    ) -> BatchResult:
+        """Serve ``sources`` as one concurrent batch on the named system."""
+        self.check_multi_device(system_name)
+        system = make_system(system_name, self.graph, config=self.config, **system_kwargs)
+        return QueryBatchRunner(system).run(self.make_queries(sources))
+
+    def run_sequential(
+        self, system_name: str, sources: Sequence[int | None], **system_kwargs
+    ) -> list[RunResult]:
+        """The unbatched baseline: the same queries served back to back.
+
+        One system instance, each query run cold (``run`` resets the warm
+        transfer state), which is what a serving layer without batching
+        would do.
+        """
+        self.check_multi_device(system_name)
+        system = make_system(system_name, self.graph, config=self.config, **system_kwargs)
+        return [system.run(program, source=source) for program, source in self.make_queries(sources)]
 
 
 def paper_datasets() -> list[str]:
@@ -107,6 +163,22 @@ def pick_source(graph: CSRGraph) -> int:
     if graph.num_vertices == 0:
         raise ValueError("cannot pick a source in an empty graph")
     return int(np.argmax(graph.out_degrees))
+
+
+def batch_sources(graph: CSRGraph, count: int) -> list[int]:
+    """``count`` distinct traversal sources, by descending out-degree.
+
+    Deterministic and well connected, like :func:`pick_source`; used to
+    build multi-query batch workloads (one SSSP/BFS query per source).
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if count > graph.num_vertices:
+        raise ValueError(
+            "cannot pick %d distinct sources in a %d-vertex graph" % (count, graph.num_vertices)
+        )
+    order = np.argsort(-graph.out_degrees, kind="stable")
+    return [int(vertex) for vertex in order[:count]]
 
 
 def build_workload(

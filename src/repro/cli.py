@@ -1,11 +1,12 @@
 """Command-line interface.
 
-Three subcommands cover the workflows a user of the original HyTGraph
-binaries would expect:
+Four subcommands cover the workflows a user of the original HyTGraph
+binaries would expect, plus the serving layer on top:
 
 ``repro-graph info``      — describe a dataset stand-in (Table IV style row);
 ``repro-graph run``       — run one algorithm on one dataset with one system;
-``repro-graph compare``   — run one workload on several systems side by side.
+``repro-graph compare``   — run one workload on several systems side by side;
+``repro-graph batch``     — serve a batch of concurrent queries on one system.
 
 Examples
 --------
@@ -14,6 +15,7 @@ Examples
     repro-graph info --dataset FK
     repro-graph run --dataset SK --algorithm sssp --system hytgraph --scale 0.5
     repro-graph compare --dataset UK --algorithm pagerank --systems subway emogi hytgraph
+    repro-graph batch --dataset UK --algorithm sssp --num-queries 16 --devices 2
 """
 
 from __future__ import annotations
@@ -22,7 +24,7 @@ import argparse
 from typing import Sequence
 
 from repro.algorithms import ALGORITHMS
-from repro.bench.workloads import build_workload
+from repro.bench.workloads import batch_sources, build_workload
 from repro.graph.datasets import dataset_names, load_dataset
 from repro.graph.properties import summarize
 from repro.metrics.tables import format_table
@@ -69,6 +71,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="number of GPUs (>1 enables the sharded multi-GPU layer)")
     compare.add_argument("--interconnect", default=None, choices=sorted(INTERCONNECT_PRESETS),
                          help="inter-GPU link preset (default: nvlink)")
+
+    batch = subparsers.add_parser(
+        "batch", help="serve a batch of concurrent queries on one system"
+    )
+    batch.add_argument("--dataset", default="SK")
+    batch.add_argument("--algorithm", default="sssp", choices=sorted(ALGORITHMS))
+    batch.add_argument("--system", default="hytgraph", choices=sorted(SYSTEMS))
+    batch.add_argument("--scale", type=float, default=0.5)
+    batch.add_argument("--gpu", default=None, help="GPU preset name")
+    batch.add_argument("--devices", type=int, default=1,
+                       help="number of GPUs (>1 enables the sharded multi-GPU layer)")
+    batch.add_argument("--interconnect", default=None, choices=sorted(INTERCONNECT_PRESETS),
+                       help="inter-GPU link preset (default: nvlink)")
+    batch.add_argument("--sources", type=int, nargs="+", default=None,
+                       help="explicit traversal sources, one query each")
+    batch.add_argument("--num-queries", type=int, default=8,
+                       help="query count when --sources is not given "
+                            "(top-out-degree sources for source-based algorithms)")
+    batch.add_argument("--no-baseline", action="store_true",
+                       help="skip the sequential (unbatched) baseline runs")
     return parser
 
 
@@ -85,12 +107,17 @@ def _multi_device_capable(system_name: str) -> bool:
     return getattr(SYSTEMS[system_name], "supports_multi_device", False)
 
 
-def _cmd_run(args: argparse.Namespace) -> str:
-    if args.devices > 1 and not _multi_device_capable(args.system):
+def _require_multi_device_capable(system_name: str, devices: int) -> None:
+    """User-input guard: one clean error for --devices on incapable systems."""
+    if devices > 1 and not _multi_device_capable(system_name):
         raise SystemExit(
             "system %r has no multi-device execution path; drop --devices or pick one of: %s"
-            % (args.system, ", ".join(sorted(name for name in SYSTEMS if _multi_device_capable(name))))
+            % (system_name, ", ".join(sorted(name for name in SYSTEMS if _multi_device_capable(name))))
         )
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    _require_multi_device_capable(args.system, args.devices)
     workload = build_workload(
         args.dataset, args.algorithm, scale=args.scale, preset=args.gpu,
         num_devices=args.devices, interconnect=args.interconnect,
@@ -175,6 +202,60 @@ def _cmd_compare(args: argparse.Namespace) -> str:
     return notes + format_table(rows, title=title)
 
 
+def _cmd_batch(args: argparse.Namespace) -> str:
+    _require_multi_device_capable(args.system, args.devices)
+    if args.num_queries <= 0:
+        raise SystemExit("--num-queries must be positive")
+    workload = build_workload(
+        args.dataset, args.algorithm, scale=args.scale, preset=args.gpu,
+        num_devices=args.devices, interconnect=args.interconnect,
+    )
+    if workload.program.needs_source:
+        sources = args.sources if args.sources else batch_sources(workload.graph, args.num_queries)
+    else:
+        if args.sources:
+            raise SystemExit("algorithm %r takes no traversal source" % args.algorithm)
+        sources = [None] * args.num_queries
+    batch = workload.run_batch(args.system, sources)
+
+    rows = [
+        {
+            "query": index,
+            "source": "-" if source is None else source,
+            "iterations": result.num_iterations,
+            "time (s)": round(result.total_time, 6),
+            "transfer_KB": round(result.total_transfer_bytes / 1024, 2),
+            "converged": result.converged,
+        }
+        for index, (source, result) in enumerate(zip(sources, batch.results))
+    ]
+    title = "%s batch of %d queries on %s (%s, scale=%g)" % (
+        args.algorithm.upper(), batch.num_queries, args.dataset, batch.system, args.scale,
+    )
+    if args.devices > 1:
+        title += " x%d GPUs over %s" % (args.devices, workload.config.interconnect_kind)
+    lines = [
+        format_table(rows, title=title).rstrip("\n"),
+        "batch makespan: %.6f s over %d super-iterations (%.1f queries/s)" % (
+            batch.makespan, batch.super_iterations, batch.queries_per_second,
+        ),
+        "batch transfer volume: %.3f MB (%.3f MB amortized across queries)" % (
+            batch.total_transfer_bytes / 1e6, batch.amortized_bytes / 1e6,
+        ),
+    ]
+    if not args.no_baseline:
+        sequential = workload.run_sequential(args.system, sources)
+        stats = batch.amortization_vs(sequential)
+        lines.append(
+            "vs sequential serving: %.2fx speedup (%.6f s -> %.6f s), "
+            "%.3f MB transfer saved" % (
+                stats["speedup"], stats["sequential_time"], stats["batched_time"],
+                stats["transfer_bytes_saved"] / 1e6,
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -183,6 +264,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         output = _cmd_info(args)
     elif args.command == "run":
         output = _cmd_run(args)
+    elif args.command == "batch":
+        output = _cmd_batch(args)
     else:
         output = _cmd_compare(args)
     print(output, end="")

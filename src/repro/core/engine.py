@@ -10,8 +10,8 @@ The engine alternates two stages until the algorithm converges:
 2. **Asynchronous task scheduling** — order the tasks by contribution
    (:mod:`repro.core.priority`), execute them (vertex-program semantics
    plus transfer-engine accounting) and run the resulting stage durations
-   through the multi-stream scheduler (:mod:`repro.sim.streams`) to obtain
-   the iteration's simulated wall-clock time.
+   through the execution runtime (:mod:`repro.runtime`) to obtain the
+   iteration's simulated wall-clock time.
 
 Within an iteration execution is asynchronous: a task sees every value
 update made by the tasks scheduled before it, and the loaded subgraph is
@@ -21,6 +21,20 @@ once") so cheap extra GPU work replaces future transfers.
 Every behavioural feature is switchable through :class:`HyTGraphOptions`
 so the ablation benchmarks (Figure 8) can turn task combining and
 contribution-driven scheduling on and off independently.
+
+Execution runtime
+-----------------
+The engine is device-count agnostic: it plans every iteration as one
+:class:`~repro.runtime.driver.IterationPlan` — per-device task lists over
+the contiguous partition-range shards of its
+:class:`~repro.runtime.context.ExecutionContext` — and the shared
+:class:`~repro.runtime.driver.IterationDriver` schedules it.  One device
+is the trivial case (one shard, no residency, no boundary exchange), so
+there is no separate single-device code path; multi-device sessions add
+per-device shard residency and the per-iteration boundary-delta
+synchronisation.  Through the ``shared`` planning argument the same code
+serves the concurrent multi-query batch runner, which deduplicates
+whole-partition transfers across queries.
 
 Performance architecture
 ------------------------
@@ -51,20 +65,20 @@ from repro.graph.csr import CSRGraph
 from repro.graph.partition import (
     DeviceShard,
     Partitioning,
-    ShardedPartitioning,
     partition_by_bytes,
     partition_by_count,
 )
 from repro.graph.reorder import ReorderedGraph, hub_sort
 from repro.metrics.results import IterationStats, RunResult
+from repro.runtime.batch import SharedTransferState
+from repro.runtime.context import ExecutionContext
+from repro.runtime.driver import IterationDriver, IterationPlan, QuerySession
 from repro.sim.config import HardwareConfig, default_config
 from repro.sim.kernel import KernelModel
-from repro.sim.multi_gpu import MultiDeviceScheduler
 from repro.sim.streams import StreamScheduler, StreamTask
 from repro.transfer.base import EngineKind, TransferEngine, TransferOutcome
 from repro.transfer.explicit_compaction import ExplicitCompactionEngine
 from repro.transfer.explicit_filter import ExplicitFilterEngine
-from repro.transfer.residency import ShardResidency
 from repro.transfer.zero_copy import ZeroCopyEngine
 
 __all__ = ["HyTGraphOptions", "HyTGraphEngine"]
@@ -157,6 +171,9 @@ class HyTGraphEngine:
             self.graph, self.partitioning, enabled=self.options.contribution_scheduling
         )
         self.kernel_model = KernelModel(self.config)
+        # The raw single-device stream scheduler is kept for the perf
+        # harness's seed-baseline mode, which restores the pre-runtime
+        # iteration loop; the engine itself schedules via the context.
         self.stream_scheduler = StreamScheduler(self.config)
         self.engines: dict[EngineKind, TransferEngine] = {
             EngineKind.EXP_FILTER: ExplicitFilterEngine(self.graph, self.config),
@@ -164,18 +181,18 @@ class HyTGraphEngine:
             EngineKind.IMP_ZERO_COPY: ZeroCopyEngine(self.graph, self.config),
         }
 
-        # Multi-GPU sharded execution (config.num_devices > 1): contiguous
-        # partition-range shards, per-device shard residency and one
-        # stream scheduler per device sharing the host PCIe resource.
-        # num_devices == 1 never touches this state, so single-device runs
-        # are bitwise identical to the original engine.
-        self.sharding: ShardedPartitioning | None = None
-        self.residency: ShardResidency | None = None
-        self.multi_scheduler: MultiDeviceScheduler | None = None
-        if self.config.num_devices > 1:
-            self.sharding = ShardedPartitioning(self.partitioning, self.config.num_devices)
-            self.residency = ShardResidency(self.partitioning, self.sharding, self.config)
-            self.multi_scheduler = MultiDeviceScheduler(self.config)
+        # Device-agnostic execution runtime: shards, residency and the
+        # shared-host scheduler.  One device is the trivial case — one
+        # shard spanning every partition, no residency, no boundary
+        # exchange — so single-device runs stay bitwise identical to the
+        # historical dedicated path.
+        self.context = ExecutionContext(self.graph, self.partitioning, self.config)
+        self.driver = IterationDriver(self.context)
+
+    @property
+    def max_iterations(self) -> int:
+        """Outer-iteration bound (shared protocol with the systems)."""
+        return self.options.max_iterations
 
     # ------------------------------------------------------------------
     # Setup helpers
@@ -198,20 +215,20 @@ class HyTGraphEngine:
         return self.reordering.translate_to_new(source)
 
     # ------------------------------------------------------------------
-    # Execution
+    # Session lifecycle
     # ------------------------------------------------------------------
-    def run(self, program: VertexProgram, source: int | None = None) -> RunResult:
-        """Run ``program`` to convergence and return the full result record."""
+    def reset_run_state(self) -> None:
+        """Reset warm cross-run state (engine caches, residency flags)."""
+        for engine in self.engines.values():
+            engine.reset()
+        self.context.reset()
+
+    def start_session(self, program: VertexProgram, source: int | None = None) -> QuerySession:
+        """Initialise one query against the preprocessed (hub-sorted) graph."""
         program.check_graph(self.graph)
         internal_source = self._translate_source(program.validate_source(self.original_graph, source))
         state = program.create_state(self.graph, internal_source)
         frontier = program.initial_frontier(self.graph, state, internal_source)
-        pending = frontier.mask.copy()
-
-        for engine in self.engines.values():
-            engine.reset()
-        if self.residency is not None:
-            self.residency.reset()
 
         result = RunResult(
             system=self.name,
@@ -225,24 +242,44 @@ class HyTGraphEngine:
                 "contribution_scheduling": self.options.contribution_scheduling,
             },
         )
-        if self.sharding is not None:
+        if self.context.is_multi_device:
             result.extra["num_devices"] = self.config.num_devices
             result.extra["interconnect"] = self.config.interconnect_kind
-            result.extra["resident_partitions"] = self.residency.num_resident
+            result.extra["resident_partitions"] = self.context.num_resident_partitions
 
-        run_iteration = self._run_iteration if self.sharding is None else self._run_iteration_multi
-        iteration = 0
-        while pending.any() and iteration < self.options.max_iterations:
-            stats = run_iteration(iteration, program, state, pending)
-            result.iterations.append(stats)
-            iteration += 1
+        return QuerySession(
+            program=program,
+            source=internal_source,
+            state=state,
+            pending=frontier.mask.copy(),
+            result=result,
+        )
 
-        result.converged = not pending.any()
-        values = program.vertex_result(state)
+    def finish_session(self, session: QuerySession) -> RunResult:
+        """Finalise one query: convergence flag plus original-order values."""
+        result = session.result
+        result.converged = not session.pending.any()
+        values = session.program.vertex_result(session.state)
         if self.reordering is not None:
             values = self.reordering.values_in_original_order(values)
         result.values = values
         return result
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, program: VertexProgram, source: int | None = None) -> RunResult:
+        """Run ``program`` to convergence and return the full result record."""
+        self.reset_run_state()
+        session = self.start_session(program, source)
+        # The loop goes through _run_iteration (rather than the driver's
+        # generic loop) so the perf harness can monkeypatch the seed
+        # iteration back in.
+        while session.pending.any() and session.iteration < self.options.max_iterations:
+            stats = self._run_iteration(session.iteration, program, session.state, session.pending)
+            session.result.iterations.append(stats)
+            session.iteration += 1
+        return self.finish_session(session)
 
     def _run_iteration(
         self,
@@ -251,7 +288,35 @@ class HyTGraphEngine:
         state: ProgramState,
         pending: np.ndarray,
     ) -> IterationStats:
+        return self.driver.finish(self._plan(iteration, program, state, pending))
+
+    def plan_iteration(
+        self, session: QuerySession, shared: SharedTransferState | None = None
+    ) -> IterationPlan:
+        """One planned iteration (batch-runner protocol)."""
+        return self._plan(session.iteration, session.program, session.state, session.pending, shared)
+
+    def _plan(
+        self,
+        iteration: int,
+        program: VertexProgram,
+        state: ProgramState,
+        pending: np.ndarray,
+        shared: SharedTransferState | None = None,
+    ) -> IterationPlan:
+        """Plan one iteration: task generation, execution and accounting.
+
+        Task generation, contribution scheduling and stream scheduling
+        operate per device over the context's shards (one trivial shard
+        on single-device sessions); the frontier and value arrays stay
+        global — every device reads and writes the same program state,
+        mirroring how real sharded runtimes keep vertex values consistent
+        through the boundary exchange.  The host CPU and PCIe are shared;
+        multi-device iterations end with the boundary-vertex delta
+        exchange over the interconnect.
+        """
         graph = self.graph
+        context = self.context
         # One frontier scan per iteration: the id array feeds the stats,
         # the cost model and the task combiner (the seed engine rescanned
         # the |V| mask in each of those places).
@@ -268,56 +333,117 @@ class HyTGraphEngine:
             pending[sinks] = False
             program.process(graph, state, sinks)
 
-        # ----- Stage 1: cost-aware task generation ------------------------
+        # ----- Stage 1: per-device cost-aware task generation --------------
         costs = self.cost_model.estimate(pending, active_ids=active_ids)
-        selection = self.selector.select(costs)
-        tasks = self.combiner.combine(self.partitioning, selection, pending, active_ids=active_ids)
-        tasks = self.priority.prioritize(tasks, program, state)
-        # The cost analysis and selection run as a device-side scan; only
-        # the selection result is copied back (Section V-A).
-        generation_overhead = self.kernel_model.device_scan_time(self.partitioning.num_partitions)
+        selection = self._force_resident_filter(self.selector.select(costs))
+        device_task_lists: list[list[ScheduledTask]] = [
+            self._device_tasks(shard, selection, pending, active_ids, program, state)
+            for shard in context.sharding
+        ]
+        # Each device scans only its own shard's partitions, concurrently.
+        widest_shard = max((shard.num_partitions for shard in context.sharding), default=0)
+        generation_overhead = self.kernel_model.device_scan_time(widest_shard)
 
-        # ----- Stage 2: asynchronous task execution ------------------------
-        stream_tasks: list[StreamTask] = []
+        # ----- Stage 2: per-device asynchronous task execution -------------
+        stream_task_lists: list[list[StreamTask]] = context.empty_device_lists()
+        remote_updates = [0] * context.num_devices
         total_transfer_bytes = 0
         total_processed_edges = 0
         engine_task_counts: dict[str, int] = {}
 
-        for order, task in enumerate(tasks):
-            processed_edges = self._execute_task(task, program, state, pending)
-            outcome = self._account_transfer(task)
-            kernel_time = self.kernel_model.kernel_time(processed_edges, num_kernels=1)
-            stream_tasks.append(
-                StreamTask(
-                    name=task.label,
-                    engine=task.engine.value,
-                    cpu_time=outcome.cpu_time,
-                    transfer_time=outcome.transfer_time,
-                    kernel_time=kernel_time,
-                    overlapped_transfer=outcome.overlapped,
-                    priority=float(order),
+        # Devices drain their task queues concurrently; interleaving the
+        # per-device priority orders round-robin keeps the global value
+        # updates deterministic while modelling parallel progress.
+        order = 0
+        longest = max((len(tasks) for tasks in device_task_lists), default=0)
+        for step in range(longest):
+            for device, tasks in enumerate(device_task_lists):
+                if step >= len(tasks):
+                    continue
+                task = tasks[step]
+                shard = context.sharding[device]
+                processed_edges, remote_count = self._execute_task(task, program, state, pending, shard)
+                outcome = self._account_task_transfer(task, shared)
+                kernel_time = self.kernel_model.kernel_time(processed_edges, num_kernels=1)
+                stream_task_lists[device].append(
+                    StreamTask(
+                        name=task.label,
+                        engine=task.engine.value,
+                        cpu_time=outcome.cpu_time,
+                        transfer_time=outcome.transfer_time,
+                        kernel_time=kernel_time,
+                        overlapped_transfer=outcome.overlapped,
+                        priority=float(order),
+                    )
                 )
-            )
-            total_transfer_bytes += outcome.bytes_transferred
-            total_processed_edges += processed_edges
-            engine_task_counts[task.engine.value] = engine_task_counts.get(task.engine.value, 0) + 1
+                order += 1
+                remote_updates[device] += remote_count
+                total_transfer_bytes += outcome.bytes_transferred
+                total_processed_edges += processed_edges
+                engine_task_counts[task.engine.value] = engine_task_counts.get(task.engine.value, 0) + 1
 
-        timeline = self.stream_scheduler.schedule(stream_tasks)
-        iteration_time = timeline.makespan + generation_overhead
-
-        return IterationStats(
+        stats = IterationStats(
             index=iteration,
-            time=iteration_time,
+            time=0.0,
             active_vertices=active_vertex_count,
             active_edges=active_edge_count,
             transfer_bytes=total_transfer_bytes,
-            compaction_time=timeline.busy_time("cpu"),
-            transfer_time=timeline.busy_time("pcie"),
-            kernel_time=timeline.busy_time("gpu"),
             processed_edges=total_processed_edges,
             engine_partitions=selection.counts(),
             engine_tasks=engine_task_counts,
         )
+        return IterationPlan(
+            stats=stats,
+            device_tasks=stream_task_lists,
+            remote_updates=remote_updates,
+            overhead_time=generation_overhead,
+        )
+
+    def _force_resident_filter(self, selection: SelectionResult) -> SelectionResult:
+        """Pin resident partitions to the filter engine.
+
+        A partition resident in its device's memory needs no per-iteration
+        transfer at all; compacting or zero-copy-reading it would move
+        bytes it already holds.  The filter path prices it correctly:
+        one whole-partition copy on first touch, free afterwards
+        (:meth:`_account_task_transfer`).  Single-device sessions have no
+        residency, so this is the identity there.
+        """
+        residency = self.context.residency
+        if residency is None or not residency.resident.any():
+            return selection
+        choices = list(selection.choices)
+        for index in np.flatnonzero(residency.resident):
+            if choices[index] is not None:
+                choices[index] = EngineKind.EXP_FILTER
+        return SelectionResult(choices=choices)
+
+    def _device_tasks(
+        self,
+        shard: DeviceShard,
+        selection: SelectionResult,
+        pending: np.ndarray,
+        active_ids: np.ndarray,
+        program: VertexProgram,
+        state: ProgramState,
+    ) -> list[ScheduledTask]:
+        """Combine and prioritise one device's shard-local tasks."""
+        if shard.num_partitions == 0:
+            return []
+        if shard.num_partitions == self.partitioning.num_partitions:
+            # The shard spans the whole partitioning (single-device case):
+            # no masking needed.
+            shard_selection, shard_active = selection, active_ids
+        else:
+            shard_choices: list[EngineKind | None] = [None] * self.partitioning.num_partitions
+            for index in shard.partition_indices():
+                shard_choices[index] = selection.choices[index]
+            shard_selection = SelectionResult(choices=shard_choices)
+            shard_active = active_ids[
+                np.searchsorted(active_ids, shard.vertex_start) : np.searchsorted(active_ids, shard.vertex_end)
+            ]
+        tasks = self.combiner.combine(self.partitioning, shard_selection, pending, active_ids=shard_active)
+        return self.priority.prioritize(tasks, program, state)
 
     # ------------------------------------------------------------------
     # Task execution
@@ -355,9 +481,17 @@ class HyTGraphEngine:
         program: VertexProgram,
         state: ProgramState,
         pending: np.ndarray,
-    ) -> int:
-        """Run the vertex program for one task; returns edges processed."""
+        shard: DeviceShard,
+    ) -> tuple[int, int]:
+        """Run one task's vertex program; returns (edges processed, remote updates).
+
+        Remote updates are activation messages for vertices owned by
+        another shard — each becomes one ``(index entry, value)`` delta in
+        the iteration's boundary exchange (always zero on single-device
+        sessions, where the one shard owns everything).
+        """
         graph = self.graph
+        count_remote = self.context.is_multi_device
         ranges = self._task_vertex_ranges(task)
 
         # Asynchronous semantics: process whatever is pending in this
@@ -365,15 +499,18 @@ class HyTGraphEngine:
         # scheduled earlier in the same iteration.
         first_round = self._pending_in_ranges(pending, ranges)
         if first_round.size == 0:
-            return 0
+            return 0, 0
         pending[first_round] = False
         processed_edges = int(graph.out_degrees[first_round].sum())
+        remote_count = 0
         newly_active = program.process(graph, state, first_round)
         if newly_active.size:
             pending[newly_active] = True
+            if count_remote:
+                remote_count += shard.count_remote(newly_active)
 
         if not self.options.recompute_loaded:
-            return processed_edges
+            return processed_edges, remote_count
 
         # Re-process the loaded subgraph once (Section VI-A): for filter
         # tasks the whole partition is resident on the GPU, for compaction
@@ -388,8 +525,13 @@ class HyTGraphEngine:
             newly_active = program.process(graph, state, second_round)
             if newly_active.size:
                 pending[newly_active] = True
-        return processed_edges
+                if count_remote:
+                    remote_count += shard.count_remote(newly_active)
+        return processed_edges, remote_count
 
+    # ------------------------------------------------------------------
+    # Transfer accounting
+    # ------------------------------------------------------------------
     def _account_transfer(self, task: ScheduledTask):
         """Price the data movement of one task with its transfer engine."""
         engine = self.engines[task.engine]
@@ -402,206 +544,31 @@ class HyTGraphEngine:
         cuts = np.searchsorted(active, boundaries)
         return engine.transfer_task(partitions, active, cuts)
 
-    # ------------------------------------------------------------------
-    # Multi-GPU sharded execution
-    # ------------------------------------------------------------------
-    def _run_iteration_multi(
-        self,
-        iteration: int,
-        program: VertexProgram,
-        state: ProgramState,
-        pending: np.ndarray,
-    ) -> IterationStats:
-        """One iteration of the sharded multi-GPU execution path.
+    def _account_task_transfer(
+        self, task: ScheduledTask, shared: SharedTransferState | None = None
+    ) -> TransferOutcome:
+        """Price one task's data movement, skipping already-on-device data.
 
-        The frontier and value arrays stay global: every device reads and
-        writes the same program state, mirroring how real sharded runtimes
-        keep vertex values consistent through the boundary exchange.  Task
-        generation, contribution scheduling and stream scheduling operate
-        per device; the host CPU and PCIe are shared; the iteration ends
-        with the boundary-vertex delta exchange over the interconnect.
+        Filter tasks may cover partitions that are shard-resident (paid
+        once on first touch, free afterwards) or, under the batch runner,
+        already shipped by another query this super-iteration.  Every
+        partition inside a task holds at least one active vertex, so the
+        billable filter cost is simply the per-partition copy sum —
+        identical to :meth:`~repro.transfer.explicit_filter.ExplicitFilterEngine`'s
+        whole-partition pricing.  Compaction and zero-copy transfers are
+        query-specific and never shareable; resident partitions never
+        choose them (:meth:`_force_resident_filter`).
         """
-        graph = self.graph
-        sharding = self.sharding
-        active_ids = np.flatnonzero(pending)
-        active_vertex_count = int(active_ids.size)
-        active_edge_count = int(graph.out_degrees[active_ids].sum())
-
-        sinks = np.flatnonzero(pending & self._sink_mask)
-        if sinks.size:
-            pending[sinks] = False
-            program.process(graph, state, sinks)
-
-        # ----- Stage 1: per-device cost-aware task generation --------------
-        costs = self.cost_model.estimate(pending, active_ids=active_ids)
-        selection = self._force_resident_filter(self.selector.select(costs))
-        device_task_lists: list[list[ScheduledTask]] = []
-        for shard in sharding:
-            device_task_lists.append(self._device_tasks(shard, selection, pending, active_ids, program, state))
-        # Each device scans only its own shard's partitions, concurrently.
-        widest_shard = max((shard.num_partitions for shard in sharding), default=0)
-        generation_overhead = self.kernel_model.device_scan_time(widest_shard)
-
-        # ----- Stage 2: per-device asynchronous task execution -------------
-        stream_task_lists: list[list[StreamTask]] = [[] for _ in sharding]
-        remote_updates = [0] * sharding.num_devices
-        total_transfer_bytes = 0
-        total_processed_edges = 0
-        engine_task_counts: dict[str, int] = {}
-
-        # Devices drain their task queues concurrently; interleaving the
-        # per-device priority orders round-robin keeps the global value
-        # updates deterministic while modelling parallel progress.
-        order = 0
-        longest = max((len(tasks) for tasks in device_task_lists), default=0)
-        for step in range(longest):
-            for device, tasks in enumerate(device_task_lists):
-                if step >= len(tasks):
-                    continue
-                task = tasks[step]
-                shard = sharding[device]
-                processed_edges, remote_count = self._execute_task_device(task, program, state, pending, shard)
-                outcome = self._account_transfer_device(task)
-                kernel_time = self.kernel_model.kernel_time(processed_edges, num_kernels=1)
-                stream_task_lists[device].append(
-                    StreamTask(
-                        name=task.label,
-                        engine=task.engine.value,
-                        cpu_time=outcome.cpu_time,
-                        transfer_time=outcome.transfer_time,
-                        kernel_time=kernel_time,
-                        overlapped_transfer=outcome.overlapped,
-                        priority=float(order),
-                    )
-                )
-                order += 1
-                remote_updates[device] += remote_count
-                total_transfer_bytes += outcome.bytes_transferred
-                total_processed_edges += processed_edges
-                engine_task_counts[task.engine.value] = engine_task_counts.get(task.engine.value, 0) + 1
-
-        # ----- Stage 3: boundary-vertex synchronisation --------------------
-        sync_bytes = [count * self.config.boundary_update_bytes for count in remote_updates]
-        timeline = self.multi_scheduler.schedule(stream_task_lists, sync_bytes)
-        iteration_time = timeline.makespan + generation_overhead
-
-        return IterationStats(
-            index=iteration,
-            time=iteration_time,
-            active_vertices=active_vertex_count,
-            active_edges=active_edge_count,
-            transfer_bytes=total_transfer_bytes,
-            compaction_time=timeline.busy_time("cpu"),
-            transfer_time=timeline.busy_time("pcie"),
-            kernel_time=timeline.busy_time("gpu"),
-            processed_edges=total_processed_edges,
-            engine_partitions=selection.counts(),
-            engine_tasks=engine_task_counts,
-            interconnect_bytes=int(sum(sync_bytes)),
-            sync_time=timeline.sync_time,
-        )
-
-    def _force_resident_filter(self, selection: SelectionResult) -> SelectionResult:
-        """Pin resident partitions to the filter engine.
-
-        A partition resident in its device's memory needs no per-iteration
-        transfer at all; compacting or zero-copy-reading it would move
-        bytes it already holds.  The filter path prices it correctly:
-        one whole-partition copy on first touch, free afterwards
-        (:meth:`_account_transfer_device`).
-        """
-        if self.residency is None or not self.residency.resident.any():
-            return selection
-        choices = list(selection.choices)
-        for index in np.flatnonzero(self.residency.resident):
-            if choices[index] is not None:
-                choices[index] = EngineKind.EXP_FILTER
-        return SelectionResult(choices=choices)
-
-    def _device_tasks(
-        self,
-        shard: DeviceShard,
-        selection: SelectionResult,
-        pending: np.ndarray,
-        active_ids: np.ndarray,
-        program: VertexProgram,
-        state: ProgramState,
-    ) -> list[ScheduledTask]:
-        """Combine and prioritise one device's shard-local tasks."""
-        if shard.num_partitions == 0:
-            return []
-        shard_choices: list[EngineKind | None] = [None] * self.partitioning.num_partitions
-        for index in shard.partition_indices():
-            shard_choices[index] = selection.choices[index]
-        shard_active = active_ids[
-            np.searchsorted(active_ids, shard.vertex_start) : np.searchsorted(active_ids, shard.vertex_end)
-        ]
-        tasks = self.combiner.combine(
-            self.partitioning, SelectionResult(choices=shard_choices), pending, active_ids=shard_active
-        )
-        return self.priority.prioritize(tasks, program, state)
-
-    def _execute_task_device(
-        self,
-        task: ScheduledTask,
-        program: VertexProgram,
-        state: ProgramState,
-        pending: np.ndarray,
-        shard: DeviceShard,
-    ) -> tuple[int, int]:
-        """Run one device's task; returns (edges processed, remote updates).
-
-        Remote updates are activation messages for vertices owned by
-        another shard — each becomes one ``(index entry, value)`` delta in
-        the iteration's boundary exchange.
-        """
-        graph = self.graph
-        ranges = self._task_vertex_ranges(task)
-        first_round = self._pending_in_ranges(pending, ranges)
-        if first_round.size == 0:
-            return 0, 0
-        pending[first_round] = False
-        processed_edges = int(graph.out_degrees[first_round].sum())
-        remote_count = 0
-        newly_active = program.process(graph, state, first_round)
-        if newly_active.size:
-            pending[newly_active] = True
-            remote_count += self._count_remote(newly_active, shard)
-
-        if not self.options.recompute_loaded:
-            return processed_edges, remote_count
-
-        if task.engine == EngineKind.EXP_FILTER:
-            second_round = self._pending_in_ranges(pending, ranges)
-        else:
-            second_round = first_round[pending[first_round]]
-        if second_round.size:
-            pending[second_round] = False
-            processed_edges += int(graph.out_degrees[second_round].sum())
-            newly_active = program.process(graph, state, second_round)
-            if newly_active.size:
-                pending[newly_active] = True
-                remote_count += self._count_remote(newly_active, shard)
-        return processed_edges, remote_count
-
-    @staticmethod
-    def _count_remote(vertices: np.ndarray, shard: DeviceShard) -> int:
-        """How many of ``vertices`` are owned by a different shard."""
-        return int(((vertices < shard.vertex_start) | (vertices >= shard.vertex_end)).sum())
-
-    def _account_transfer_device(self, task: ScheduledTask) -> TransferOutcome:
-        """Price one device task's data movement, skipping resident partitions.
-
-        Filter tasks may cover shard-resident partitions: those cost one
-        whole-partition explicit copy the first time they carry active
-        edges and nothing afterwards.  Every partition inside a task holds
-        at least one active vertex, so the billable filter cost is simply
-        the per-partition copy sum.  Compaction and zero-copy tasks never
-        cover resident partitions (:meth:`_force_resident_filter`).
-        """
-        if task.engine != EngineKind.EXP_FILTER:
+        residency = self.context.residency
+        if task.engine != EngineKind.EXP_FILTER or (residency is None and shared is None):
             return self._account_transfer(task)
-        billable, _ = self.residency.split_billable(task.partition_indices)
+        billable = list(task.partition_indices)
+        if residency is not None:
+            billable, _ = residency.split_billable(billable)
+        if shared is not None:
+            billable = shared.claim_partitions(
+                billable, lambda index: self.partitioning[index].edge_bytes
+            )
         engine = self.engines[EngineKind.EXP_FILTER]
         bytes_total = 0
         transfer_time = 0.0

@@ -211,6 +211,15 @@ class DeviceShard:
         """Whether ``vertex``'s adjacency list is owned by this device."""
         return self.vertex_start <= vertex < self.vertex_end
 
+    def count_remote(self, vertices: np.ndarray) -> int:
+        """How many of ``vertices`` are owned by a different shard.
+
+        Each remote vertex is one activation message of the boundary-delta
+        exchange; the execution runtime charges
+        ``config.boundary_update_bytes`` per message.
+        """
+        return int(((vertices < self.vertex_start) | (vertices >= self.vertex_end)).sum())
+
 
 class ShardedPartitioning:
     """A :class:`Partitioning` split across ``num_devices`` GPUs.

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["IterationStats", "RunResult"]
+__all__ = ["IterationStats", "RunResult", "BatchResult"]
 
 
 @dataclass
@@ -187,4 +187,101 @@ class RunResult:
             "iterations": self.num_iterations,
             "transfer_MB": round(self.total_transfer_bytes / (1024 * 1024), 3),
             "converged": self.converged,
+        }
+
+
+@dataclass
+class BatchResult:
+    """Record of one concurrent multi-query batch on one system.
+
+    Attributes
+    ----------
+    results:
+        The per-query :class:`RunResult` records, in submission order.
+        Query values are bitwise identical to standalone runs; the
+        per-query timing/volume fields reflect the shared warm state
+        (residency paid once, de-duplicated partition transfers).
+    makespan:
+        Simulated wall-clock seconds of the whole batch: per
+        super-iteration, the live queries' task lists co-scheduled on
+        the shared devices, plus their planning overheads.
+    super_iterations:
+        Number of batch super-iterations (the max over queries' outer
+        iteration counts, minus skipped dead queries).
+    amortized_bytes:
+        Whole-partition transfer bytes that were *not* re-shipped
+        because another query in the same super-iteration already moved
+        the partition (0 for systems with no shareable transfers).
+    """
+
+    system: str
+    algorithm: str
+    graph_name: str
+    results: list[RunResult] = field(default_factory=list)
+    makespan: float = 0.0
+    super_iterations: int = 0
+    amortized_bytes: int = 0
+    extra: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_queries(self) -> int:
+        """Number of queries in the batch."""
+        return len(self.results)
+
+    @property
+    def queries_per_second(self) -> float:
+        """Aggregate simulated throughput of the batch."""
+        if self.makespan <= 0.0:
+            return 0.0
+        return self.num_queries / self.makespan
+
+    @property
+    def total_transfer_bytes(self) -> int:
+        """PCIe bytes actually moved for the whole batch."""
+        return int(sum(result.total_transfer_bytes for result in self.results))
+
+    @property
+    def total_interconnect_bytes(self) -> int:
+        """Inter-GPU boundary-delta bytes across all queries."""
+        return int(sum(result.total_interconnect_bytes for result in self.results))
+
+    @property
+    def sequential_time_estimate(self) -> float:
+        """Sum of the queries' standalone iteration times.
+
+        An *in-batch* proxy (each query's tasks scheduled alone but with
+        the shared warm state); the honest sequential baseline re-runs
+        the queries independently — see :meth:`amortization_vs`.
+        """
+        return float(sum(result.total_time for result in self.results))
+
+    def amortization_vs(self, sequential: list[RunResult]) -> dict[str, float]:
+        """Amortization statistics against independent sequential runs.
+
+        ``sequential`` holds one :class:`RunResult` per query from
+        running them back to back on a cold session each (what a
+        serving layer without batching would do).
+        """
+        sequential_time = float(sum(result.total_time for result in sequential))
+        sequential_bytes = int(sum(result.total_transfer_bytes for result in sequential))
+        return {
+            "speedup": sequential_time / self.makespan if self.makespan > 0 else float("inf"),
+            "sequential_time": sequential_time,
+            "batched_time": self.makespan,
+            "sequential_transfer_bytes": float(sequential_bytes),
+            "batched_transfer_bytes": float(self.total_transfer_bytes),
+            "transfer_bytes_saved": float(sequential_bytes - self.total_transfer_bytes),
+        }
+
+    def summary_row(self) -> dict[str, object]:
+        """One row of a batch comparison table."""
+        return {
+            "system": self.system,
+            "algorithm": self.algorithm,
+            "graph": self.graph_name,
+            "queries": self.num_queries,
+            "makespan": round(self.makespan, 6),
+            "queries_per_s": round(self.queries_per_second, 3),
+            "transfer_MB": round(self.total_transfer_bytes / (1024 * 1024), 3),
+            "amortized_MB": round(self.amortized_bytes / (1024 * 1024), 3),
         }

@@ -1,0 +1,219 @@
+"""Device-agnostic execution context: one topology object per session.
+
+:class:`ExecutionContext` bundles everything the execution layer needs to
+know about *where* work runs — the device count, the contiguous
+partition-range shards, the optional per-device shard residency and the
+scheduler that places per-device task lists onto the shared host
+resources.  It is constructed once per system (or once per batch session)
+and handed to the :class:`~repro.runtime.driver.IterationDriver`.
+
+``num_devices == 1`` is not a separate code path: the context simply
+holds one shard covering the whole partitioning, every frontier split
+returns one slice, every remote-activation count is zero and the
+scheduler emits no boundary-synchronisation entry.  That makes the
+sharded execution path bitwise identical to the historical single-device
+engines while deleting their ``run``/``_run_multi`` twin code.
+
+:class:`MultiDeviceScheduler` (formerly ``repro.sim.multi_gpu``) runs one
+:class:`~repro.sim.streams.StreamScheduler` per device.  The schedulers
+contend for two *shared host* resources — the CPU compaction engine and
+the host PCIe complex (every explicit copy and zero-copy read crosses the
+same root complex) — while each device brings its own GPU and its own
+CUDA streams.  Tasks from different devices are interleaved in global
+priority order, which models all devices making progress concurrently.
+
+Every multi-device iteration ends with a **boundary synchronisation
+phase**: devices exchange the delta updates they produced for vertices
+owned by other shards (one ``(compacted-index entry, value)`` message per
+remote activation) plus a convergence-flag all-reduce.  The exchange runs
+all-to-all over dedicated inter-GPU links, so its duration is the fixed
+interconnect latency plus the busiest sender's bytes at the interconnect
+bandwidth.  The phase appears in the iteration timeline as one collective
+entry on the ``"interconnect"`` resource, after every device's last task.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import Partitioning, ShardedPartitioning
+from repro.sim.config import HardwareConfig
+from repro.sim.events import (
+    INTERCONNECT_RESOURCE,
+    SYNC_ENGINE,
+    StageSpan,
+    Timeline,
+    TimelineEntry,
+)
+from repro.sim.kernel import KernelModel
+from repro.sim.streams import ResourceState, StreamScheduler, StreamTask
+from repro.transfer.residency import ShardResidency
+
+__all__ = ["ExecutionContext", "MultiDeviceScheduler"]
+
+
+class MultiDeviceScheduler:
+    """Schedules per-device task lists onto N GPUs sharing one host."""
+
+    def __init__(self, config: HardwareConfig, num_devices: int | None = None):
+        self.config = config
+        self.num_devices = num_devices if num_devices is not None else config.num_devices
+        if self.num_devices < 1:
+            raise ValueError("num_devices must be at least 1")
+        #: One stream scheduler per device, as on real multi-GPU hosts.
+        self.device_schedulers = [StreamScheduler(config) for _ in range(self.num_devices)]
+
+    # ------------------------------------------------------------------
+    # Boundary synchronisation
+    # ------------------------------------------------------------------
+    def sync_duration(self, sync_bytes_per_device: Sequence[int] | None) -> float:
+        """Seconds of the per-iteration boundary synchronisation phase.
+
+        Single-device runs synchronise nothing.  Multi-device runs always
+        pay the interconnect latency (barrier + convergence all-reduce)
+        plus the busiest sender's outgoing delta bytes over its link.
+        """
+        if self.num_devices <= 1:
+            return 0.0
+        busiest = max(sync_bytes_per_device, default=0) if sync_bytes_per_device else 0
+        return self.config.interconnect_latency + busiest / self.config.interconnect_bandwidth
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        device_tasks: Sequence[list[StreamTask]],
+        sync_bytes_per_device: Sequence[int] | None = None,
+    ) -> Timeline:
+        """Schedule every device's tasks plus the boundary sync phase.
+
+        ``device_tasks[d]`` is device ``d``'s task list.  Tasks are
+        placed in global ``(priority, submission order, device)`` order
+        onto each device's own streams/GPU while the ``cpu`` and ``pcie``
+        resources are shared across all devices.
+        """
+        if len(device_tasks) != self.num_devices:
+            raise ValueError(
+                "expected %d device task lists, got %d" % (self.num_devices, len(device_tasks))
+            )
+
+        merged: list[tuple[float, int, int, StreamTask]] = []
+        for device, tasks in enumerate(device_tasks):
+            for position, task in enumerate(tasks):
+                merged.append((task.priority, position, device, task))
+        merged.sort(key=lambda item: item[:3])
+
+        cpu = ResourceState()
+        pcie = ResourceState()
+        gpus = [ResourceState() for _ in range(self.num_devices)]
+        stream_free = [[0.0] * self.config.num_streams for _ in range(self.num_devices)]
+        timeline = Timeline()
+
+        for _, _, device, task in merged:
+            timeline.entries.append(
+                self.device_schedulers[device].place(
+                    task, stream_free[device], cpu, pcie, gpus[device], device=device
+                )
+            )
+
+        if self.num_devices > 1:
+            start = timeline.makespan
+            duration = self.sync_duration(sync_bytes_per_device)
+            timeline.entries.append(
+                TimelineEntry(
+                    name="boundary-sync",
+                    engine=SYNC_ENGINE,
+                    stream=0,
+                    spans=(StageSpan(INTERCONNECT_RESOURCE, start, start + duration),),
+                    device=-1,
+                )
+            )
+        return timeline
+
+
+class ExecutionContext:
+    """Devices, shards, residency and schedulers of one execution session.
+
+    Parameters
+    ----------
+    graph / partitioning / config:
+        The (possibly preprocessed) graph the session executes on, its
+        edge partitioning, and the hardware platform.
+    residency_enabled:
+        Whether multi-device sessions pin leading shard partitions into
+        device memory (:class:`~repro.transfer.residency.ShardResidency`).
+        Single-device sessions are always residency-free, exactly as in
+        the paper: its testbed graphs oversubscribe one GPU's memory, so
+        partitions churn and caching buys nothing there.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        partitioning: Partitioning,
+        config: HardwareConfig,
+        residency_enabled: bool = True,
+    ):
+        self.graph = graph
+        self.partitioning = partitioning
+        self.config = config
+        self.num_devices = config.num_devices
+        self.sharding = ShardedPartitioning(partitioning, config.num_devices)
+        self.residency: ShardResidency | None = None
+        if self.is_multi_device and residency_enabled:
+            self.residency = ShardResidency(partitioning, self.sharding, config)
+        self.scheduler = MultiDeviceScheduler(config)
+        self.kernel_model = KernelModel(config)
+
+    @property
+    def is_multi_device(self) -> bool:
+        """Whether more than one device participates in this session."""
+        return self.num_devices > 1
+
+    @property
+    def num_resident_partitions(self) -> int:
+        """Partitions pinned into device memory across all shards."""
+        return 0 if self.residency is None else self.residency.num_resident
+
+    def reset(self) -> None:
+        """Forget cross-run state (residency first-touch flags)."""
+        if self.residency is not None:
+            self.residency.reset()
+
+    # ------------------------------------------------------------------
+    # Frontier topology helpers
+    # ------------------------------------------------------------------
+    def split_frontier(self, active_ids: np.ndarray) -> list[np.ndarray]:
+        """Slice a sorted active-vertex array into one view per device."""
+        return self.sharding.split_sorted_vertices(active_ids)
+
+    def count_remote(self, vertices: np.ndarray, device: int) -> int:
+        """Remote-activation messages ``device`` emits for ``vertices``.
+
+        Zero on single-device sessions (the one shard owns everything),
+        so callers never branch on the device count.
+        """
+        if not self.is_multi_device:
+            return 0
+        return self.sharding[device].count_remote(vertices)
+
+    def sync_bytes(self, remote_updates: Sequence[int]) -> list[int]:
+        """Per-device outgoing boundary-delta bytes from message counts."""
+        per_update = self.config.boundary_update_bytes
+        return [count * per_update for count in remote_updates]
+
+    def empty_device_lists(self) -> list[list]:
+        """One empty per-device list per device (task/accumulator shells)."""
+        return [[] for _ in range(self.num_devices)]
+
+    def schedule(
+        self,
+        device_tasks: Sequence[list[StreamTask]],
+        sync_bytes_per_device: Sequence[int] | None = None,
+    ) -> Timeline:
+        """Schedule per-device task lists plus the boundary sync phase."""
+        return self.scheduler.schedule(device_tasks, sync_bytes_per_device)

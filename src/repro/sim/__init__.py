@@ -17,6 +17,10 @@ discrete-event simulator whose parameters come straight from the paper:
 * :mod:`repro.sim.streams` — the multi-stream scheduler that overlaps CPU
   compaction, PCIe transfers and GPU kernels (Section VI-B, Figure 6).
 
+Multi-device scheduling (per-device streams over one shared host plus the
+boundary-synchronisation phase) lives in the execution runtime:
+:class:`repro.runtime.context.MultiDeviceScheduler`.
+
 The simulator computes *time* and *bytes moved*; algorithm semantics are
 computed exactly by the vertex programs regardless of the simulated
 hardware, so simulation never affects answer correctness.
@@ -35,7 +39,6 @@ from repro.sim.pcie import PCIeModel
 from repro.sim.memory import DeviceMemory, PageCache
 from repro.sim.compaction import CompactionEngine, CompactionResult
 from repro.sim.kernel import KernelModel
-from repro.sim.multi_gpu import MultiDeviceScheduler
 from repro.sim.streams import ResourceState, StreamScheduler, StreamTask, Timeline, TimelineEntry
 
 __all__ = [
@@ -52,7 +55,6 @@ __all__ = [
     "CompactionEngine",
     "CompactionResult",
     "KernelModel",
-    "MultiDeviceScheduler",
     "ResourceState",
     "StreamScheduler",
     "StreamTask",

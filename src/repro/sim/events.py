@@ -8,7 +8,7 @@ breakdown figures (Figure 3b/3c, Figure 7c/7d) aggregate.
 Multi-GPU runs add two things to the same records: every entry carries
 the ``device`` that executed it, and each iteration ends with one
 boundary-synchronisation entry occupying the ``"interconnect"`` resource
-(the inter-GPU delta exchange; see :mod:`repro.sim.multi_gpu`).
+(the inter-GPU delta exchange; see :mod:`repro.runtime.context`).
 """
 
 from __future__ import annotations

@@ -1,4 +1,15 @@
-"""Shared machinery of the simulated graph processing systems."""
+"""Shared machinery of the simulated graph processing systems.
+
+Every system runs on the device-agnostic execution runtime
+(:mod:`repro.runtime`): the base class builds one
+:class:`~repro.runtime.context.ExecutionContext` (shards, residency,
+schedulers — trivial at ``num_devices == 1``) and one
+:class:`~repro.runtime.driver.IterationDriver`, and implements the
+``run`` loop once.  Subclasses only describe *one iteration* by
+implementing :meth:`GraphSystem.plan_iteration`; the same method serves
+1..N devices and, through the ``shared`` argument, the concurrent
+multi-query batch runner.
+"""
 
 from __future__ import annotations
 
@@ -6,21 +17,20 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro.algorithms.base import ProgramState, VertexProgram
+from repro.algorithms.base import VertexProgram
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import (
-    DeviceShard,
     Partitioning,
-    ShardedPartitioning,
     partition_by_bytes,
     partition_by_count,
 )
 from repro.metrics.results import RunResult
+from repro.runtime.batch import SharedTransferState
+from repro.runtime.context import ExecutionContext
+from repro.runtime.driver import IterationDriver, IterationPlan, QuerySession
 from repro.sim.config import HardwareConfig, default_config
 from repro.sim.kernel import KernelModel
-from repro.sim.multi_gpu import MultiDeviceScheduler
 from repro.sim.pcie import PCIeModel
-from repro.sim.streams import StreamScheduler
 
 __all__ = ["GraphSystem"]
 
@@ -33,17 +43,25 @@ DEFAULT_MAX_ITERATIONS = 10_000
 class GraphSystem(ABC):
     """Base class: one system bound to one graph and one hardware config.
 
-    Subclasses implement :meth:`run`; the base class provides the graph
-    partitioning, the cost models and the bookkeeping every system shares.
+    Subclasses implement :meth:`plan_iteration`; the base class provides
+    the graph partitioning, the cost models, the execution runtime and
+    the run loop every system shares.
     """
 
     #: Display name used in result tables.
     name: str = "system"
 
-    #: Whether the system implements a sharded multi-device execution
-    #: path.  Systems that don't refuse ``num_devices > 1`` configs
-    #: instead of silently running single-device.
+    #: Whether the system's transfer policy generalises to sharded
+    #: multi-device execution.  Systems that don't refuse
+    #: ``num_devices > 1`` configs instead of silently running
+    #: single-device.
     supports_multi_device: bool = False
+
+    #: Subclasses that adopt another component's runtime (the HyTGraph
+    #: wrapper executes on its engine's hub-sorted partitioning) set
+    #: this False and install ``partitioning``/``context``/``driver``
+    #: themselves instead of having the base build a discarded set.
+    builds_runtime: bool = True
 
     def __init__(
         self,
@@ -56,23 +74,22 @@ class GraphSystem(ABC):
         self.graph = graph
         self.config = config or default_config()
         self.max_iterations = max_iterations
-        self.partitioning = self._build_partitioning(num_partitions, partition_bytes)
+        if self.config.num_devices > 1 and not self.supports_multi_device:
+            raise ValueError(
+                "%s has no multi-device execution path; run it with num_devices=1"
+                % self.name
+            )
         self.kernel_model = KernelModel(self.config)
         self.pcie = PCIeModel(self.config)
-        self.stream_scheduler = StreamScheduler(self.config)
-        # Multi-GPU sharded execution (config.num_devices > 1).  Systems
-        # with a multi-device path dispatch on ``self.sharding`` in run();
-        # num_devices == 1 leaves everything single-device and untouched.
-        self.sharding: ShardedPartitioning | None = None
-        self.multi_scheduler: MultiDeviceScheduler | None = None
-        if self.config.num_devices > 1:
-            if not self.supports_multi_device:
-                raise ValueError(
-                    "%s has no multi-device execution path; run it with num_devices=1"
-                    % self.name
-                )
-            self.sharding = ShardedPartitioning(self.partitioning, self.config.num_devices)
-            self.multi_scheduler = MultiDeviceScheduler(self.config)
+        if self.builds_runtime:
+            self.partitioning = self._build_partitioning(num_partitions, partition_bytes)
+            self.context = ExecutionContext(self.graph, self.partitioning, self.config)
+            self.driver = IterationDriver(self.context)
+
+    @property
+    def sharding(self):
+        """The context's device shards (one trivial shard at 1 device)."""
+        return self.context.sharding
 
     def _build_partitioning(
         self, num_partitions: int | None, partition_bytes: int | None
@@ -88,65 +105,78 @@ class GraphSystem(ABC):
         return partition_by_bytes(self.graph, target_bytes)
 
     # ------------------------------------------------------------------
-    # Shared run helpers
+    # Session lifecycle (shared by run() and the batch runner)
     # ------------------------------------------------------------------
-    def _init_run(
-        self, program: VertexProgram, source: int | None
-    ) -> tuple[ProgramState, np.ndarray, RunResult]:
-        """Initialise program state, the pending frontier mask and the result record."""
+    def reset_run_state(self) -> None:
+        """Reset warm cross-run state (residency flags, page caches).
+
+        ``run`` calls this per run; the batch runner calls it once per
+        batch so the warm state is shared across the batch's queries.
+        """
+        self.context.reset()
+
+    def start_session(self, program: VertexProgram, source: int | None = None) -> QuerySession:
+        """Initialise one query: program state, frontier and result record."""
         program.check_graph(self.graph)
         source = program.validate_source(self.graph, source)
         state = program.create_state(self.graph, source)
         frontier = program.initial_frontier(self.graph, state, source)
         result = RunResult(system=self.name, algorithm=program.name, graph_name=self.graph.name)
-        return state, frontier.mask.copy(), result
+        if self.context.is_multi_device:
+            result.extra["num_devices"] = self.config.num_devices
+            result.extra["interconnect"] = self.config.interconnect_kind
+        session = QuerySession(
+            program=program,
+            source=source,
+            state=state,
+            pending=frontier.mask.copy(),
+            result=result,
+        )
+        self._prepare_session(session)
+        return session
 
-    def _finish_run(self, result: RunResult, program: VertexProgram, state: ProgramState, pending: np.ndarray) -> RunResult:
-        result.converged = not pending.any()
-        result.values = program.vertex_result(state)
+    def _prepare_session(self, session: QuerySession) -> None:
+        """Hook: populate per-query scratch state (default: nothing)."""
+
+    def finish_session(self, session: QuerySession) -> RunResult:
+        """Finalise one query's result record."""
+        result = session.result
+        result.converged = not session.pending.any()
+        result.values = session.program.vertex_result(session.state)
+        self._annotate_result(result, session)
         return result
 
+    def _annotate_result(self, result: RunResult, session: QuerySession) -> None:
+        """Hook: attach system-specific extras (default: nothing)."""
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, program: VertexProgram, source: int | None = None) -> RunResult:
+        """Execute ``program`` to convergence on this system."""
+        self.reset_run_state()
+        session = self.start_session(program, source)
+        self.driver.drive(self, session, self.max_iterations)
+        return self.finish_session(session)
+
+    @abstractmethod
+    def plan_iteration(
+        self, session: QuerySession, shared: SharedTransferState | None = None
+    ) -> IterationPlan:
+        """Plan (and semantically execute) one outer iteration.
+
+        Implementations mutate ``session.state`` / ``session.pending``
+        exactly as the iteration's kernels would and return the
+        iteration's per-device stream tasks, remote-activation counts
+        and prefilled statistics.  ``shared`` is non-``None`` only under
+        the batch runner, where whole-partition transfers may be
+        deduplicated across the batch's queries.
+        """
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
     def _active_edge_count(self, active_vertices: np.ndarray) -> int:
         if active_vertices.size == 0:
             return 0
         return int(self.graph.out_degrees[active_vertices].sum())
-
-    # ------------------------------------------------------------------
-    # Multi-device helpers
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _count_remote(vertices: np.ndarray, shard: DeviceShard) -> int:
-        """Activation messages from ``shard``'s device to other shards."""
-        return int(((vertices < shard.vertex_start) | (vertices >= shard.vertex_end)).sum())
-
-    def _sync_bytes(self, remote_updates: list[int]) -> list[int]:
-        """Per-device outgoing boundary-delta bytes from message counts."""
-        per_update = self.config.boundary_update_bytes
-        return [count * per_update for count in remote_updates]
-
-    def _process_per_device(
-        self,
-        program: VertexProgram,
-        state: ProgramState,
-        pending: np.ndarray,
-        per_device_active: list[np.ndarray],
-        remote_updates: list[int],
-    ) -> None:
-        """Each device pushes its shard's frontier slice, in device order.
-
-        The value arrays stay global (the boundary exchange is charged in
-        time and bytes, not re-simulated in the semantics), so activations
-        land directly in the shared pending bitmap; cross-shard ones are
-        counted as the emitting device's outgoing delta messages.
-        """
-        for device, device_active in enumerate(per_device_active):
-            if device_active.size == 0:
-                continue
-            newly_active = program.process(self.graph, state, device_active)
-            if newly_active.size:
-                pending[newly_active] = True
-                remote_updates[device] += self._count_remote(newly_active, self.sharding[device])
-
-    @abstractmethod
-    def run(self, program: VertexProgram, source: int | None = None) -> RunResult:
-        """Execute ``program`` to convergence on this system."""

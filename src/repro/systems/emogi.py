@@ -9,15 +9,21 @@ time is essentially ``max(zero-copy traffic time, kernel time)``.
 Its weakness — the reason HyTGraph beats it on dense frontiers — is that
 low-degree active vertices issue mostly-empty memory requests, wasting
 PCIe bandwidth (Figures 3e/3f), and there is no data reuse at all across
-iterations.
+iterations (or across the queries of a batch: zero-copy reads are
+on-demand and leave nothing on the device to share).
+
+On multi-device sessions every device issues zero-copy reads for the
+active vertices of its own shard; all reads cross the shared host PCIe
+complex, each device's kernel overlaps its own reads, and the iteration
+ends with the boundary-delta exchange.  Sharding splits the work but not
+the traffic.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.algorithms.base import VertexProgram
-from repro.metrics.results import IterationStats, RunResult
+from repro.metrics.results import IterationStats
+from repro.runtime.batch import SharedTransferState
+from repro.runtime.driver import IterationPlan, QuerySession
 from repro.sim.streams import StreamTask
 from repro.systems.base import GraphSystem
 from repro.transfer.base import EngineKind
@@ -32,120 +38,51 @@ class EmogiSystem(GraphSystem):
     name = "EMOGI"
     supports_multi_device = True
 
-    def run(self, program: VertexProgram, source: int | None = None) -> RunResult:
-        if self.sharding is not None:
-            return self._run_multi(program, source)
-        state, pending, result = self._init_run(program, source)
-        engine = ZeroCopyEngine(self.graph, self.config)
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.engine = ZeroCopyEngine(self.graph, self.config)
 
-        iteration = 0
-        while pending.any() and iteration < self.max_iterations:
-            active_vertices = np.nonzero(pending)[0]
-            active_edges = self._active_edge_count(active_vertices)
+    def plan_iteration(
+        self, session: QuerySession, shared: SharedTransferState | None = None
+    ) -> IterationPlan:
+        pending = session.pending
+        frontier = self.driver.snapshot(pending)
 
-            outcome = engine.transfer(self.partitioning[0], active_vertices)
-            kernel_time = self.kernel_model.kernel_time(active_edges)
-            timeline = self.stream_scheduler.schedule(
-                [
-                    StreamTask(
-                        name="zero-copy-frontier",
-                        engine=EngineKind.IMP_ZERO_COPY.value,
-                        transfer_time=outcome.transfer_time,
-                        kernel_time=kernel_time,
-                        overlapped_transfer=True,
-                    )
-                ]
-            )
-
-            pending[active_vertices] = False
-            newly_active = program.process(self.graph, state, active_vertices)
-            if newly_active.size:
-                pending[newly_active] = True
-
-            result.iterations.append(
-                IterationStats(
-                    index=iteration,
-                    time=timeline.makespan,
-                    active_vertices=int(active_vertices.size),
-                    active_edges=active_edges,
-                    transfer_bytes=outcome.bytes_transferred,
-                    compaction_time=0.0,
+        device_tasks: list[list[StreamTask]] = self.context.empty_device_lists()
+        transfer_bytes = 0
+        active_devices = 0
+        for device, device_active in enumerate(frontier.per_device):
+            if device_active.size == 0:
+                continue
+            active_devices += 1
+            outcome = self.engine.transfer(self.partitioning[0], device_active)
+            kernel_time = self.kernel_model.kernel_time(self._active_edge_count(device_active))
+            transfer_bytes += outcome.bytes_transferred
+            device_tasks[device].append(
+                StreamTask(
+                    name="zero-copy-frontier-d%d" % device,
+                    engine=EngineKind.IMP_ZERO_COPY.value,
                     transfer_time=outcome.transfer_time,
                     kernel_time=kernel_time,
-                    processed_edges=active_edges,
-                    engine_partitions={EngineKind.IMP_ZERO_COPY.value: 1},
-                    engine_tasks={EngineKind.IMP_ZERO_COPY.value: 1},
+                    overlapped_transfer=True,
                 )
             )
-            iteration += 1
 
-        return self._finish_run(result, program, state, pending)
+        # Synchronous processing: every device pushes its shard's frontier.
+        pending[frontier.active_ids] = False
+        remote_updates = [0] * self.context.num_devices
+        self.driver.process_per_device(
+            session.program, session.state, pending, frontier.per_device, remote_updates
+        )
 
-    def _run_multi(self, program: VertexProgram, source: int | None) -> RunResult:
-        """Sharded zero-copy: each device reads its own shard's frontier.
-
-        Every device issues zero-copy reads for the active vertices it
-        owns; all reads cross the shared host PCIe complex, each device's
-        kernel overlaps its own reads, and the iteration ends with the
-        boundary-delta exchange.  EMOGI still reuses nothing across
-        iterations — sharding splits the work but not the traffic.
-        """
-        state, pending, result = self._init_run(program, source)
-        result.extra["num_devices"] = self.config.num_devices
-        result.extra["interconnect"] = self.config.interconnect_kind
-        engine = ZeroCopyEngine(self.graph, self.config)
-        sharding = self.sharding
-
-        iteration = 0
-        while pending.any() and iteration < self.max_iterations:
-            active_vertices = np.nonzero(pending)[0]
-            active_edges = self._active_edge_count(active_vertices)
-            per_device_active = sharding.split_sorted_vertices(active_vertices)
-
-            stream_task_lists: list[list[StreamTask]] = [[] for _ in sharding]
-            transfer_bytes = 0
-            active_devices = 0
-            for device, device_active in enumerate(per_device_active):
-                if device_active.size == 0:
-                    continue
-                active_devices += 1
-                outcome = engine.transfer(self.partitioning[0], device_active)
-                kernel_time = self.kernel_model.kernel_time(self._active_edge_count(device_active))
-                transfer_bytes += outcome.bytes_transferred
-                stream_task_lists[device].append(
-                    StreamTask(
-                        name="zero-copy-frontier-d%d" % device,
-                        engine=EngineKind.IMP_ZERO_COPY.value,
-                        transfer_time=outcome.transfer_time,
-                        kernel_time=kernel_time,
-                        overlapped_transfer=True,
-                    )
-                )
-
-            pending[active_vertices] = False
-            remote_updates = [0] * sharding.num_devices
-            self._process_per_device(program, state, pending, per_device_active, remote_updates)
-
-            sync_bytes = self._sync_bytes(remote_updates)
-            timeline = self.multi_scheduler.schedule(stream_task_lists, sync_bytes)
-
-            result.iterations.append(
-                IterationStats(
-                    index=iteration,
-                    time=timeline.makespan,
-                    active_vertices=int(active_vertices.size),
-                    active_edges=active_edges,
-                    transfer_bytes=transfer_bytes,
-                    compaction_time=0.0,
-                    transfer_time=timeline.busy_time("pcie"),
-                    kernel_time=timeline.busy_time("gpu"),
-                    processed_edges=active_edges,
-                    engine_partitions={EngineKind.IMP_ZERO_COPY.value: active_devices},
-                    engine_tasks={EngineKind.IMP_ZERO_COPY.value: active_devices},
-                    interconnect_bytes=int(sum(sync_bytes)),
-                    sync_time=timeline.sync_time,
-                )
-            )
-            iteration += 1
-
-        return self._finish_run(result, program, state, pending)
+        stats = IterationStats(
+            index=session.iteration,
+            time=0.0,
+            active_vertices=frontier.active_vertices,
+            active_edges=frontier.active_edges,
+            transfer_bytes=transfer_bytes,
+            processed_edges=frontier.active_edges,
+            engine_partitions={EngineKind.IMP_ZERO_COPY.value: active_devices},
+            engine_tasks={EngineKind.IMP_ZERO_COPY.value: active_devices},
+        )
+        return IterationPlan(stats=stats, device_tasks=device_tasks, remote_updates=remote_updates)

@@ -6,14 +6,22 @@ active edge is shipped to the GPU in full with explicit memory copy and
 processed synchronously.  No CPU compaction, no on-demand access — which
 means maximum PCIe utilisation per byte but a large volume of redundant
 bytes whenever partitions are sparsely active (Figure 3a).
+
+On multi-device sessions every device ships its own shard's active
+partitions over the shared host PCIe; the redundancy weakness is
+unchanged — sharding splits the partitions, not the redundant bytes
+inside them.  Under the batch runner the whole-partition copies *are*
+shareable: a partition shipped for one query in a super-iteration is on
+the device for every other query active in it.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.base import VertexProgram
-from repro.metrics.results import IterationStats, RunResult
+from repro.metrics.results import IterationStats
+from repro.runtime.batch import SharedTransferState
+from repro.runtime.driver import IterationPlan, QuerySession
 from repro.sim.streams import StreamTask
 from repro.systems.base import GraphSystem
 from repro.transfer.base import EngineKind
@@ -28,139 +36,68 @@ class ExpTMFilterSystem(GraphSystem):
     name = "ExpTM-F"
     supports_multi_device = True
 
-    def run(self, program: VertexProgram, source: int | None = None) -> RunResult:
-        if self.sharding is not None:
-            return self._run_multi(program, source)
-        state, pending, result = self._init_run(program, source)
-        engine = ExplicitFilterEngine(self.graph, self.config)
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.engine = ExplicitFilterEngine(self.graph, self.config)
 
-        iteration = 0
-        while pending.any() and iteration < self.max_iterations:
-            active_vertices = np.nonzero(pending)[0]
-            active_edges = self._active_edge_count(active_vertices)
-            active_per_partition, _ = self.partitioning.active_counts(pending)
+    def plan_iteration(
+        self, session: QuerySession, shared: SharedTransferState | None = None
+    ) -> IterationPlan:
+        pending = session.pending
+        frontier = self.driver.snapshot(pending)
+        active_ids = frontier.active_ids
+        # Partitions hold consecutive vertex ranges and active_ids is
+        # sorted, so one bisection splits the frontier per partition.
+        boundaries = np.append(self.partitioning.vertex_starts, self.graph.num_vertices)
+        cuts = np.searchsorted(active_ids, boundaries)
 
-            stream_tasks: list[StreamTask] = []
-            transfer_bytes = 0
-            active_partition_count = 0
-            for partition in self.partitioning:
-                in_partition = active_vertices[
-                    (active_vertices >= partition.vertex_start) & (active_vertices < partition.vertex_end)
-                ]
-                if in_partition.size == 0:
-                    continue
-                active_partition_count += 1
-                outcome = engine.transfer(partition, in_partition)
-                kernel_time = self.kernel_model.kernel_time(self._active_edge_count(in_partition))
+        device_tasks: list[list[StreamTask]] = self.context.empty_device_lists()
+        transfer_bytes = 0
+        active_partition_count = 0
+        task_count = 0
+        for partition in self.partitioning:
+            in_partition = active_ids[cuts[partition.index] : cuts[partition.index + 1]]
+            if in_partition.size == 0:
+                continue
+            device = self.sharding.device_of_partition(partition.index)
+            active_partition_count += 1
+            task_count += 1
+            kernel_time = self.kernel_model.kernel_time(self._active_edge_count(in_partition))
+            if shared is not None and not shared.claim_partitions(
+                [partition.index], lambda index: self.partitioning[index].edge_bytes
+            ):
+                # Another query in this batch super-iteration already
+                # shipped the partition; only the kernel runs.
+                transfer_time = 0.0
+            else:
+                outcome = self.engine.transfer(partition, in_partition)
                 transfer_bytes += outcome.bytes_transferred
-                stream_tasks.append(
-                    StreamTask(
-                        name="P%d" % partition.index,
-                        engine=EngineKind.EXP_FILTER.value,
-                        transfer_time=outcome.transfer_time,
-                        kernel_time=kernel_time,
-                        overlapped_transfer=False,
-                    )
-                )
-
-            timeline = self.stream_scheduler.schedule(stream_tasks)
-
-            # Synchronous processing: every active vertex pushes once.
-            pending[active_vertices] = False
-            newly_active = program.process(self.graph, state, active_vertices)
-            if newly_active.size:
-                pending[newly_active] = True
-
-            result.iterations.append(
-                IterationStats(
-                    index=iteration,
-                    time=timeline.makespan,
-                    active_vertices=int(active_vertices.size),
-                    active_edges=active_edges,
-                    transfer_bytes=transfer_bytes,
-                    compaction_time=timeline.busy_time("cpu"),
-                    transfer_time=timeline.busy_time("pcie"),
-                    kernel_time=timeline.busy_time("gpu"),
-                    processed_edges=active_edges,
-                    engine_partitions={EngineKind.EXP_FILTER.value: active_partition_count},
-                    engine_tasks={EngineKind.EXP_FILTER.value: len(stream_tasks)},
+                transfer_time = outcome.transfer_time
+            device_tasks[device].append(
+                StreamTask(
+                    name="P%d-d%d" % (partition.index, device),
+                    engine=EngineKind.EXP_FILTER.value,
+                    transfer_time=transfer_time,
+                    kernel_time=kernel_time,
+                    overlapped_transfer=False,
                 )
             )
-            iteration += 1
 
-        return self._finish_run(result, program, state, pending)
+        # Synchronous processing: every active vertex pushes once.
+        pending[active_ids] = False
+        remote_updates = [0] * self.context.num_devices
+        self.driver.process_per_device(
+            session.program, session.state, pending, frontier.per_device, remote_updates
+        )
 
-    def _run_multi(self, program: VertexProgram, source: int | None) -> RunResult:
-        """Sharded ExpTM-filter: each device ships its own active partitions.
-
-        Every device transfers the active partitions of its shard in full
-        over the shared host PCIe and processes them on its own GPU; the
-        iteration ends with the boundary-delta exchange.  The redundancy
-        weakness is unchanged — sharding splits the partitions, not the
-        redundant bytes inside them.
-        """
-        state, pending, result = self._init_run(program, source)
-        result.extra["num_devices"] = self.config.num_devices
-        result.extra["interconnect"] = self.config.interconnect_kind
-        engine = ExplicitFilterEngine(self.graph, self.config)
-        sharding = self.sharding
-
-        iteration = 0
-        while pending.any() and iteration < self.max_iterations:
-            active_vertices = np.nonzero(pending)[0]
-            active_edges = self._active_edge_count(active_vertices)
-            per_device_active = sharding.split_sorted_vertices(active_vertices)
-
-            stream_task_lists: list[list[StreamTask]] = [[] for _ in sharding]
-            transfer_bytes = 0
-            active_partition_count = 0
-            task_count = 0
-            for partition in self.partitioning:
-                in_partition = active_vertices[
-                    (active_vertices >= partition.vertex_start) & (active_vertices < partition.vertex_end)
-                ]
-                if in_partition.size == 0:
-                    continue
-                device = sharding.device_of_partition(partition.index)
-                active_partition_count += 1
-                task_count += 1
-                outcome = engine.transfer(partition, in_partition)
-                kernel_time = self.kernel_model.kernel_time(self._active_edge_count(in_partition))
-                transfer_bytes += outcome.bytes_transferred
-                stream_task_lists[device].append(
-                    StreamTask(
-                        name="P%d-d%d" % (partition.index, device),
-                        engine=EngineKind.EXP_FILTER.value,
-                        transfer_time=outcome.transfer_time,
-                        kernel_time=kernel_time,
-                        overlapped_transfer=False,
-                    )
-                )
-
-            pending[active_vertices] = False
-            remote_updates = [0] * sharding.num_devices
-            self._process_per_device(program, state, pending, per_device_active, remote_updates)
-
-            sync_bytes = self._sync_bytes(remote_updates)
-            timeline = self.multi_scheduler.schedule(stream_task_lists, sync_bytes)
-
-            result.iterations.append(
-                IterationStats(
-                    index=iteration,
-                    time=timeline.makespan,
-                    active_vertices=int(active_vertices.size),
-                    active_edges=active_edges,
-                    transfer_bytes=transfer_bytes,
-                    compaction_time=timeline.busy_time("cpu"),
-                    transfer_time=timeline.busy_time("pcie"),
-                    kernel_time=timeline.busy_time("gpu"),
-                    processed_edges=active_edges,
-                    engine_partitions={EngineKind.EXP_FILTER.value: active_partition_count},
-                    engine_tasks={EngineKind.EXP_FILTER.value: task_count},
-                    interconnect_bytes=int(sum(sync_bytes)),
-                    sync_time=timeline.sync_time,
-                )
-            )
-            iteration += 1
-
-        return self._finish_run(result, program, state, pending)
+        stats = IterationStats(
+            index=session.iteration,
+            time=0.0,
+            active_vertices=frontier.active_vertices,
+            active_edges=frontier.active_edges,
+            transfer_bytes=transfer_bytes,
+            processed_edges=frontier.active_edges,
+            engine_partitions={EngineKind.EXP_FILTER.value: active_partition_count},
+            engine_tasks={EngineKind.EXP_FILTER.value: task_count},
+        )
+        return IterationPlan(stats=stats, device_tasks=device_tasks, remote_updates=remote_updates)

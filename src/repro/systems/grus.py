@@ -12,6 +12,12 @@ When the whole graph fits in device memory Grus degenerates to "load once,
 then run at device speed", matching its strong numbers on the SK graph and
 on the small end of the Figure 9 scaling sweep.
 
+Grus runs on the unified execution runtime but keeps
+``supports_multi_device = False``: its static single-cache prefetch plan
+has no sharded counterpart here, so multi-device configs are refused at
+construction (and earlier, with a clear error, by the workload builder
+and the CLI).
+
 Modelling note: Grus's zero-copy fallback predates EMOGI's merged/aligned
 warp access, so its on-demand reads are modelled at 32-byte request
 granularity (the unoptimised coalescing of Figure 3e) rather than the
@@ -22,8 +28,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.base import VertexProgram
 from repro.metrics.results import IterationStats, RunResult
+from repro.runtime.batch import SharedTransferState
+from repro.runtime.driver import IterationPlan, QuerySession
 from repro.sim.streams import StreamTask
 from repro.systems.base import GraphSystem
 from repro.transfer.base import EngineKind
@@ -43,6 +50,20 @@ class GrusSystem(GraphSystem):
     def __init__(self, *args, cache_bytes: int | None = None, **kwargs):
         super().__init__(*args, **kwargs)
         self.cache_bytes = cache_bytes
+        self._zc_throughput = self.pcie.zero_copy_throughput(GRUS_ZC_REQUEST_BYTES)
+        self._vertex_cached, self._prefetched_bytes = self._plan_prefetch()
+        # The prefetch happens once, through the unified-memory migration
+        # path; charge it as preprocessing-like setup on the first
+        # iteration after a warm-state reset.  The prefetched data is
+        # query-independent, so a batch pays it once, not once per query.
+        self._prefetch_time = self.pcie.page_migration_time(
+            int(np.ceil(self._prefetched_bytes / self.config.um_page_bytes))
+        )
+        self._prefetch_pending = True
+
+    def reset_run_state(self) -> None:
+        super().reset_run_state()
+        self._prefetch_pending = True
 
     def _plan_prefetch(self) -> tuple[np.ndarray, int]:
         """Decide which vertices' adjacency lists are cached on the device.
@@ -63,87 +84,83 @@ class GrusSystem(GraphSystem):
         prefetched_bytes = int(cumulative[admitted][-1]) if admitted.any() else 0
         return cached, prefetched_bytes
 
-    def run(self, program: VertexProgram, source: int | None = None) -> RunResult:
-        state, pending, result = self._init_run(program, source)
-        zc_throughput = self.pcie.zero_copy_throughput(GRUS_ZC_REQUEST_BYTES)
-        vertex_cached, prefetched_bytes = self._plan_prefetch()
+    def _annotate_result(self, result: RunResult, session: QuerySession) -> None:
+        result.extra["cached_vertices"] = int(self._vertex_cached.sum())
+        result.extra["prefetched_bytes"] = self._prefetched_bytes
 
-        # The prefetch happens once, through the unified-memory migration
-        # path; charge it as preprocessing-like setup on the first run.
-        prefetch_time = self.pcie.page_migration_time(
-            int(np.ceil(prefetched_bytes / self.config.um_page_bytes))
-        )
-        prefetch_pending = True
+    def plan_iteration(
+        self, session: QuerySession, shared: SharedTransferState | None = None
+    ) -> IterationPlan:
+        pending = session.pending
+        frontier = self.driver.snapshot(pending)
+        active_vertices = frontier.active_ids
 
-        iteration = 0
-        while pending.any() and iteration < self.max_iterations:
-            active_vertices = np.nonzero(pending)[0]
-            active_edges = self._active_edge_count(active_vertices)
+        cached_active = active_vertices[self._vertex_cached[active_vertices]]
+        uncached_active = active_vertices[~self._vertex_cached[active_vertices]]
 
-            cached_active = active_vertices[vertex_cached[active_vertices]]
-            uncached_active = active_vertices[~vertex_cached[active_vertices]]
-
-            stream_tasks: list[StreamTask] = []
-            transfer_bytes = 0
-            transfer_time = 0.0
-            if uncached_active.size:
-                uncached_edges = self._active_edge_count(uncached_active)
-                uncached_bytes = uncached_edges * self.graph.edge_bytes_per_edge
-                zc_time = uncached_bytes / zc_throughput
-                transfer_bytes += uncached_bytes
-                transfer_time += zc_time
-                stream_tasks.append(
-                    StreamTask(
-                        name="zero-copy-miss",
-                        engine=EngineKind.IMP_ZERO_COPY.value,
-                        transfer_time=zc_time,
-                        kernel_time=self.kernel_model.kernel_time(uncached_edges),
-                        overlapped_transfer=True,
-                    )
-                )
-            if cached_active.size:
-                stream_tasks.append(
-                    StreamTask(
-                        name="um-cached",
-                        engine=EngineKind.IMP_UNIFIED_MEMORY.value,
-                        transfer_time=0.0,
-                        kernel_time=self.kernel_model.kernel_time(self._active_edge_count(cached_active)),
-                        overlapped_transfer=True,
-                    )
-                )
-            timeline = self.stream_scheduler.schedule(stream_tasks)
-            iteration_time = timeline.makespan
-            if prefetch_pending:
-                iteration_time += prefetch_time
-                transfer_bytes += prefetched_bytes
-                transfer_time += prefetch_time
-                prefetch_pending = False
-
-            pending[active_vertices] = False
-            newly_active = program.process(self.graph, state, active_vertices)
-            if newly_active.size:
-                pending[newly_active] = True
-
-            result.iterations.append(
-                IterationStats(
-                    index=iteration,
-                    time=iteration_time,
-                    active_vertices=int(active_vertices.size),
-                    active_edges=active_edges,
-                    transfer_bytes=transfer_bytes,
-                    compaction_time=0.0,
-                    transfer_time=transfer_time,
-                    kernel_time=timeline.busy_time("gpu"),
-                    processed_edges=active_edges,
-                    engine_partitions={
-                        EngineKind.IMP_UNIFIED_MEMORY.value: int(cached_active.size > 0),
-                        EngineKind.IMP_ZERO_COPY.value: int(uncached_active.size > 0),
-                    },
-                    engine_tasks={task.engine: 1 for task in stream_tasks},
+        device_tasks: list[list[StreamTask]] = self.context.empty_device_lists()
+        transfer_bytes = 0
+        transfer_time = 0.0
+        if uncached_active.size:
+            uncached_edges = self._active_edge_count(uncached_active)
+            uncached_bytes = uncached_edges * self.graph.edge_bytes_per_edge
+            zc_time = uncached_bytes / self._zc_throughput
+            transfer_bytes += uncached_bytes
+            transfer_time += zc_time
+            device_tasks[0].append(
+                StreamTask(
+                    name="zero-copy-miss",
+                    engine=EngineKind.IMP_ZERO_COPY.value,
+                    transfer_time=zc_time,
+                    kernel_time=self.kernel_model.kernel_time(uncached_edges),
+                    overlapped_transfer=True,
                 )
             )
-            iteration += 1
+        if cached_active.size:
+            device_tasks[0].append(
+                StreamTask(
+                    name="um-cached",
+                    engine=EngineKind.IMP_UNIFIED_MEMORY.value,
+                    transfer_time=0.0,
+                    kernel_time=self.kernel_model.kernel_time(self._active_edge_count(cached_active)),
+                    overlapped_transfer=True,
+                )
+            )
 
-        result.extra["cached_vertices"] = int(vertex_cached.sum())
-        result.extra["prefetched_bytes"] = prefetched_bytes
-        return self._finish_run(result, program, state, pending)
+        overhead_time = 0.0
+        if self._prefetch_pending:
+            overhead_time = self._prefetch_time
+            transfer_bytes += self._prefetched_bytes
+            transfer_time += self._prefetch_time
+            self._prefetch_pending = False
+
+        pending[active_vertices] = False
+        remote_updates = [0] * self.context.num_devices
+        self.driver.process_per_device(
+            session.program, session.state, pending, frontier.per_device, remote_updates
+        )
+
+        stats = IterationStats(
+            index=session.iteration,
+            time=0.0,
+            active_vertices=frontier.active_vertices,
+            active_edges=frontier.active_edges,
+            transfer_bytes=transfer_bytes,
+            compaction_time=0.0,
+            # The one-off prefetch is accounted in transfer_time but not
+            # scheduled as a stream task, so the planner owns this field.
+            transfer_time=transfer_time,
+            processed_edges=frontier.active_edges,
+            engine_partitions={
+                EngineKind.IMP_UNIFIED_MEMORY.value: int(cached_active.size > 0),
+                EngineKind.IMP_ZERO_COPY.value: int(uncached_active.size > 0),
+            },
+            engine_tasks={task.engine: 1 for task in device_tasks[0]},
+        )
+        return IterationPlan(
+            stats=stats,
+            device_tasks=device_tasks,
+            remote_updates=remote_updates,
+            overhead_time=overhead_time,
+            busy_fields=("gpu",),
+        )

@@ -3,7 +3,10 @@
 The actual runtime lives in :mod:`repro.core.engine`; this wrapper exists
 so the benchmark harness can instantiate the paper's system exactly like
 the baselines and collect identical :class:`~repro.metrics.results.RunResult`
-records.
+records.  The wrapper adopts the engine's execution context and driver
+(built over the hub-sorted graph's partitioning), so the session/plan
+protocol — including the concurrent multi-query batch runner — drives
+the engine directly.
 """
 
 from __future__ import annotations
@@ -12,6 +15,8 @@ from repro.algorithms.base import VertexProgram
 from repro.core.engine import HyTGraphEngine, HyTGraphOptions
 from repro.graph.csr import CSRGraph
 from repro.metrics.results import RunResult
+from repro.runtime.batch import SharedTransferState
+from repro.runtime.driver import IterationPlan, QuerySession
 from repro.sim.config import HardwareConfig
 from repro.systems.base import GraphSystem
 
@@ -23,6 +28,7 @@ class HyTGraphSystem(GraphSystem):
 
     name = "HyTGraph"
     supports_multi_device = True
+    builds_runtime = False
 
     def __init__(
         self,
@@ -47,6 +53,29 @@ class HyTGraphSystem(GraphSystem):
             self.options.partition_bytes = partition_bytes
         self.options.max_iterations = max_iterations
         self.engine = HyTGraphEngine(graph, config=self.config, options=self.options)
+        # Execute on the engine's runtime, built over the hub-sorted
+        # graph's partitioning (builds_runtime=False skips the base build).
+        self.partitioning = self.engine.partitioning
+        self.context = self.engine.context
+        self.driver = self.engine.driver
+
+    def reset_run_state(self) -> None:
+        self.engine.reset_run_state()
+
+    def start_session(self, program: VertexProgram, source: int | None = None) -> QuerySession:
+        session = self.engine.start_session(program, source)
+        session.result.system = self.name
+        return session
+
+    def plan_iteration(
+        self, session: QuerySession, shared: SharedTransferState | None = None
+    ) -> IterationPlan:
+        return self.engine.plan_iteration(session, shared)
+
+    def finish_session(self, session: QuerySession) -> RunResult:
+        result = self.engine.finish_session(session)
+        result.system = self.name
+        return result
 
     def run(self, program: VertexProgram, source: int | None = None) -> RunResult:
         result = self.engine.run(program, source=source)

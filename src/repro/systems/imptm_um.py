@@ -7,14 +7,20 @@ data is transferred exactly once and every later iteration runs at device
 speed — which is why the UM-based systems win on the SK graph — but on
 larger graphs the page-granular transfers carry a lot of inactive data and
 the fault overhead dominates (Figure 3d).
+
+ImpTM-UM runs on the unified execution runtime but keeps
+``supports_multi_device = False``: one managed-memory page cache has no
+sharded counterpart here, so multi-device configs are refused at
+construction (and earlier, with a clear error, by the workload builder
+and the CLI).  Under the batch runner the page cache is warm across the
+batch's queries — later queries fault in only what earlier ones evicted.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.algorithms.base import VertexProgram
 from repro.metrics.results import IterationStats, RunResult
+from repro.runtime.batch import SharedTransferState
+from repro.runtime.driver import IterationPlan, QuerySession
 from repro.sim.streams import StreamTask
 from repro.systems.base import GraphSystem
 from repro.transfer.base import EngineKind
@@ -31,57 +37,70 @@ class ImpTMUMSystem(GraphSystem):
     def __init__(self, *args, cache_bytes: int | None = None, **kwargs):
         super().__init__(*args, **kwargs)
         self.cache_bytes = cache_bytes
+        self.engine = UnifiedMemoryEngine(self.graph, self.config, cache_bytes=self.cache_bytes)
 
-    def run(self, program: VertexProgram, source: int | None = None) -> RunResult:
-        state, pending, result = self._init_run(program, source)
-        engine = UnifiedMemoryEngine(self.graph, self.config, cache_bytes=self.cache_bytes)
-        engine.reset()
+    def reset_run_state(self) -> None:
+        super().reset_run_state()
+        self.engine.reset()
 
-        iteration = 0
-        while pending.any() and iteration < self.max_iterations:
-            active_vertices = np.nonzero(pending)[0]
-            active_edges = self._active_edge_count(active_vertices)
-
-            outcome = engine.transfer(self.partitioning[0], active_vertices)
-            kernel_time = self.kernel_model.kernel_time(active_edges)
-            timeline = self.stream_scheduler.schedule(
-                [
-                    StreamTask(
-                        name="um-frontier",
-                        engine=EngineKind.IMP_UNIFIED_MEMORY.value,
-                        transfer_time=outcome.transfer_time,
-                        kernel_time=kernel_time,
-                        overlapped_transfer=True,
-                    )
-                ]
-            )
-
-            pending[active_vertices] = False
-            newly_active = program.process(self.graph, state, active_vertices)
-            if newly_active.size:
-                pending[newly_active] = True
-
-            result.iterations.append(
-                IterationStats(
-                    index=iteration,
-                    time=timeline.makespan,
-                    active_vertices=int(active_vertices.size),
-                    active_edges=active_edges,
-                    transfer_bytes=outcome.bytes_transferred,
-                    compaction_time=0.0,
-                    transfer_time=outcome.transfer_time,
-                    kernel_time=kernel_time,
-                    processed_edges=active_edges,
-                    engine_partitions={EngineKind.IMP_UNIFIED_MEMORY.value: 1},
-                    engine_tasks={EngineKind.IMP_UNIFIED_MEMORY.value: 1},
-                )
-            )
-            iteration += 1
-
+    def _annotate_result(self, result: RunResult, session: QuerySession) -> None:
+        # Per-query counters accumulated around this session's own
+        # transfer calls — under the batch runner the page cache is
+        # shared, so the engine-wide totals would misattribute the whole
+        # batch's activity to every query.
+        counters = session.scratch.get(
+            "page_cache", {"accesses": 0, "hits": 0, "faults": 0, "evictions": 0}
+        )
         result.extra["page_cache_stats"] = {
-            "hits": engine.cache.stats.hits,
-            "faults": engine.cache.stats.faults,
-            "evictions": engine.cache.stats.evictions,
-            "hit_rate": engine.cache.stats.hit_rate,
+            "hits": counters["hits"],
+            "faults": counters["faults"],
+            "evictions": counters["evictions"],
+            "hit_rate": counters["hits"] / counters["accesses"] if counters["accesses"] else 0.0,
         }
-        return self._finish_run(result, program, state, pending)
+
+    def plan_iteration(
+        self, session: QuerySession, shared: SharedTransferState | None = None
+    ) -> IterationPlan:
+        pending = session.pending
+        frontier = self.driver.snapshot(pending)
+        active_vertices = frontier.active_ids
+
+        cache_stats = self.engine.cache.stats
+        before = (cache_stats.accesses, cache_stats.hits, cache_stats.faults, cache_stats.evictions)
+        outcome = self.engine.transfer(self.partitioning[0], active_vertices)
+        counters = session.scratch.setdefault(
+            "page_cache", {"accesses": 0, "hits": 0, "faults": 0, "evictions": 0}
+        )
+        counters["accesses"] += cache_stats.accesses - before[0]
+        counters["hits"] += cache_stats.hits - before[1]
+        counters["faults"] += cache_stats.faults - before[2]
+        counters["evictions"] += cache_stats.evictions - before[3]
+        kernel_time = self.kernel_model.kernel_time(frontier.active_edges)
+        device_tasks: list[list[StreamTask]] = self.context.empty_device_lists()
+        device_tasks[0].append(
+            StreamTask(
+                name="um-frontier",
+                engine=EngineKind.IMP_UNIFIED_MEMORY.value,
+                transfer_time=outcome.transfer_time,
+                kernel_time=kernel_time,
+                overlapped_transfer=True,
+            )
+        )
+
+        pending[active_vertices] = False
+        remote_updates = [0] * self.context.num_devices
+        self.driver.process_per_device(
+            session.program, session.state, pending, frontier.per_device, remote_updates
+        )
+
+        stats = IterationStats(
+            index=session.iteration,
+            time=0.0,
+            active_vertices=frontier.active_vertices,
+            active_edges=frontier.active_edges,
+            transfer_bytes=outcome.bytes_transferred,
+            processed_edges=frontier.active_edges,
+            engine_partitions={EngineKind.IMP_UNIFIED_MEMORY.value: 1},
+            engine_tasks={EngineKind.IMP_UNIFIED_MEMORY.value: 1},
+        )
+        return IterationPlan(stats=stats, device_tasks=device_tasks, remote_updates=remote_updates)

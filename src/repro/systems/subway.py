@@ -13,14 +13,23 @@ useful residual mass, so fewer outer iterations and transfers) but causes
 stale computation for value-replacement algorithms such as SSSP (local
 updates get overwritten by better values arriving later, so Subway can
 move *more* data than EMOGI).
+
+On multi-device sessions the host CPU compacts every device's owned
+frontier — the compactions serialise on the shared CPU resource, the
+copies on the shared host PCIe — then each device runs its multi-round
+asynchronous processing over its own loaded subgraph, and the iteration
+ends with the boundary-delta exchange.  Compacted subgraphs are
+query-specific (they pack exactly the query's active adjacency lists),
+so batches gain co-scheduling overlap but no transfer dedup.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.base import VertexProgram
-from repro.metrics.results import IterationStats, RunResult
+from repro.metrics.results import IterationStats
+from repro.runtime.batch import SharedTransferState
+from repro.runtime.driver import IterationPlan, QuerySession
 from repro.sim.streams import StreamTask
 from repro.systems.base import GraphSystem
 from repro.transfer.base import EngineKind
@@ -44,172 +53,80 @@ class SubwaySystem(GraphSystem):
         if async_rounds < 0:
             raise ValueError("async_rounds must be non-negative")
         self.async_rounds = async_rounds
+        self.engine = ExplicitCompactionEngine(self.graph, self.config)
 
-    def run(self, program: VertexProgram, source: int | None = None) -> RunResult:
-        if self.sharding is not None:
-            return self._run_multi(program, source)
-        state, pending, result = self._init_run(program, source)
-        engine = ExplicitCompactionEngine(self.graph, self.config)
+    def plan_iteration(
+        self, session: QuerySession, shared: SharedTransferState | None = None
+    ) -> IterationPlan:
+        program, state, pending = session.program, session.state, session.pending
+        sharding = self.sharding
+        frontier = self.driver.snapshot(pending)
+        active_ids = frontier.active_ids
 
-        iteration = 0
-        while pending.any() and iteration < self.max_iterations:
-            active_vertices = np.nonzero(pending)[0]
-            active_edges = self._active_edge_count(active_vertices)
+        # One compaction per device covering the frontier it owns; the
+        # whole-graph "partition" is irrelevant to the engine's math.
+        outcomes = []
+        transfer_bytes = 0
+        for device_active in frontier.per_device:
+            if device_active.size == 0:
+                outcomes.append(None)
+                continue
+            outcome = self.engine.transfer(self.partitioning[0], device_active)
+            outcomes.append(outcome)
+            transfer_bytes += outcome.bytes_transferred
 
-            # One global compaction covering every active vertex; the
-            # whole-graph "partition" is irrelevant to the engine's math.
-            outcome = engine.transfer(self.partitioning[0], active_vertices)
+        # First round: every device processes the frontier it owns.
+        pending[active_ids] = False
+        loaded = np.zeros(self.graph.num_vertices, dtype=bool)
+        loaded[active_ids] = True
+        processed_per_device = [self._active_edge_count(d) for d in frontier.per_device]
+        remote_updates = [0] * self.context.num_devices
+        self.driver.process_per_device(program, state, pending, frontier.per_device, remote_updates)
 
-            # First processing round over the loaded subgraph.
-            pending[active_vertices] = False
-            loaded = np.zeros(self.graph.num_vertices, dtype=bool)
-            loaded[active_vertices] = True
-            processed_edges = active_edges
-            newly_active = program.process(self.graph, state, active_vertices)
-            if newly_active.size:
-                pending[newly_active] = True
-
-            # Multi-round async: keep processing activations whose edges are
-            # already on the GPU (i.e. inside the loaded subgraph).
-            for _ in range(self.async_rounds):
-                local = np.nonzero(pending & loaded)[0]
+        # Multi-round async: each device keeps draining activations whose
+        # edges sit in its own loaded subgraph.  The round's local
+        # frontier is scanned once and sliced per shard; a device sees
+        # activations produced by the other devices only from the next
+        # round on (per-round bulk-synchronous view).
+        for _ in range(self.async_rounds):
+            local_frontier = np.nonzero(pending & loaded)[0]
+            if local_frontier.size == 0:
+                break
+            for device, local in enumerate(sharding.split_sorted_vertices(local_frontier)):
                 if local.size == 0:
-                    break
+                    continue
                 pending[local] = False
-                processed_edges += self._active_edge_count(local)
+                processed_per_device[device] += self._active_edge_count(local)
                 newly_active = program.process(self.graph, state, local)
                 if newly_active.size:
                     pending[newly_active] = True
+                    remote_updates[device] += self.context.count_remote(newly_active, device)
 
-            kernel_time = self.kernel_model.kernel_time(processed_edges)
-            timeline = self.stream_scheduler.schedule(
-                [
-                    StreamTask(
-                        name="compacted-subgraph",
-                        engine=EngineKind.EXP_COMPACTION.value,
-                        cpu_time=outcome.cpu_time,
-                        transfer_time=outcome.transfer_time,
-                        kernel_time=kernel_time,
-                        overlapped_transfer=False,
-                    )
-                ]
-            )
-
-            result.iterations.append(
-                IterationStats(
-                    index=iteration,
-                    time=timeline.makespan,
-                    active_vertices=int(active_vertices.size),
-                    active_edges=active_edges,
-                    transfer_bytes=outcome.bytes_transferred,
-                    compaction_time=outcome.cpu_time,
+        device_tasks: list[list[StreamTask]] = self.context.empty_device_lists()
+        active_devices = 0
+        for device, outcome in enumerate(outcomes):
+            if outcome is None:
+                continue
+            active_devices += 1
+            device_tasks[device].append(
+                StreamTask(
+                    name="compacted-subgraph-d%d" % device,
+                    engine=EngineKind.EXP_COMPACTION.value,
+                    cpu_time=outcome.cpu_time,
                     transfer_time=outcome.transfer_time,
-                    kernel_time=kernel_time,
-                    processed_edges=processed_edges,
-                    engine_partitions={EngineKind.EXP_COMPACTION.value: 1},
-                    engine_tasks={EngineKind.EXP_COMPACTION.value: 1},
+                    kernel_time=self.kernel_model.kernel_time(processed_per_device[device]),
+                    overlapped_transfer=False,
                 )
             )
-            iteration += 1
 
-        return self._finish_run(result, program, state, pending)
-
-    def _run_multi(self, program: VertexProgram, source: int | None) -> RunResult:
-        """Sharded Subway: per-device compaction of the owned frontier.
-
-        The host CPU compacts every device's active subgraph — the
-        compactions serialise on the shared CPU resource, the copies on
-        the shared host PCIe — then each device runs its multi-round
-        asynchronous processing over its own loaded subgraph, and the
-        iteration ends with the boundary-delta exchange.
-        """
-        state, pending, result = self._init_run(program, source)
-        result.extra["num_devices"] = self.config.num_devices
-        result.extra["interconnect"] = self.config.interconnect_kind
-        engine = ExplicitCompactionEngine(self.graph, self.config)
-        sharding = self.sharding
-
-        iteration = 0
-        while pending.any() and iteration < self.max_iterations:
-            active_vertices = np.nonzero(pending)[0]
-            active_edges = self._active_edge_count(active_vertices)
-            per_device_active = sharding.split_sorted_vertices(active_vertices)
-
-            outcomes = []
-            transfer_bytes = 0
-            for device, device_active in enumerate(per_device_active):
-                if device_active.size == 0:
-                    outcomes.append(None)
-                    continue
-                outcome = engine.transfer(self.partitioning[0], device_active)
-                outcomes.append(outcome)
-                transfer_bytes += outcome.bytes_transferred
-
-            # First round: every device processes the frontier it owns.
-            pending[active_vertices] = False
-            loaded = np.zeros(self.graph.num_vertices, dtype=bool)
-            loaded[active_vertices] = True
-            processed_per_device = [self._active_edge_count(d) for d in per_device_active]
-            remote_updates = [0] * sharding.num_devices
-            self._process_per_device(program, state, pending, per_device_active, remote_updates)
-
-            # Multi-round async: each device keeps draining activations
-            # whose edges sit in its own loaded subgraph.  The round's
-            # local frontier is scanned once and sliced per shard; a
-            # device sees activations produced by the other devices only
-            # from the next round on (per-round bulk-synchronous view).
-            for _ in range(self.async_rounds):
-                local_frontier = np.nonzero(pending & loaded)[0]
-                if local_frontier.size == 0:
-                    break
-                for device, local in enumerate(sharding.split_sorted_vertices(local_frontier)):
-                    if local.size == 0:
-                        continue
-                    shard = sharding[device]
-                    pending[local] = False
-                    processed_per_device[device] += self._active_edge_count(local)
-                    newly_active = program.process(self.graph, state, local)
-                    if newly_active.size:
-                        pending[newly_active] = True
-                        remote_updates[device] += self._count_remote(newly_active, shard)
-
-            stream_task_lists: list[list[StreamTask]] = [[] for _ in sharding]
-            active_devices = 0
-            for device, outcome in enumerate(outcomes):
-                if outcome is None:
-                    continue
-                active_devices += 1
-                stream_task_lists[device].append(
-                    StreamTask(
-                        name="compacted-subgraph-d%d" % device,
-                        engine=EngineKind.EXP_COMPACTION.value,
-                        cpu_time=outcome.cpu_time,
-                        transfer_time=outcome.transfer_time,
-                        kernel_time=self.kernel_model.kernel_time(processed_per_device[device]),
-                        overlapped_transfer=False,
-                    )
-                )
-
-            sync_bytes = self._sync_bytes(remote_updates)
-            timeline = self.multi_scheduler.schedule(stream_task_lists, sync_bytes)
-
-            result.iterations.append(
-                IterationStats(
-                    index=iteration,
-                    time=timeline.makespan,
-                    active_vertices=int(active_vertices.size),
-                    active_edges=active_edges,
-                    transfer_bytes=transfer_bytes,
-                    compaction_time=timeline.busy_time("cpu"),
-                    transfer_time=timeline.busy_time("pcie"),
-                    kernel_time=timeline.busy_time("gpu"),
-                    processed_edges=int(sum(processed_per_device)),
-                    engine_partitions={EngineKind.EXP_COMPACTION.value: active_devices},
-                    engine_tasks={EngineKind.EXP_COMPACTION.value: active_devices},
-                    interconnect_bytes=int(sum(sync_bytes)),
-                    sync_time=timeline.sync_time,
-                )
-            )
-            iteration += 1
-
-        return self._finish_run(result, program, state, pending)
+        stats = IterationStats(
+            index=session.iteration,
+            time=0.0,
+            active_vertices=frontier.active_vertices,
+            active_edges=frontier.active_edges,
+            transfer_bytes=transfer_bytes,
+            processed_edges=int(sum(processed_per_device)),
+            engine_partitions={EngineKind.EXP_COMPACTION.value: active_devices},
+            engine_tasks={EngineKind.EXP_COMPACTION.value: active_devices},
+        )
+        return IterationPlan(stats=stats, device_tasks=device_tasks, remote_updates=remote_updates)

@@ -34,7 +34,10 @@ class UnifiedMemoryEngine(TransferEngine):
         self.cache = PageCache(max(0, capacity_bytes // config.um_page_bytes))
 
     def reset(self) -> None:
-        self.cache.clear()
+        # A new run starts with a cold cache AND fresh statistics — the
+        # per-run page_cache_stats extras must not accumulate across runs
+        # now that systems keep one engine instance for their lifetime.
+        self.cache = PageCache(self.cache.capacity_pages)
 
     def transfer(self, partition: EdgePartition, active_vertices: np.ndarray) -> TransferOutcome:
         active_vertices = np.asarray(active_vertices, dtype=np.int64)

@@ -1,0 +1,106 @@
+"""Regenerate the unified-runtime equivalence fixture.
+
+The fixture pins the exact behaviour of the execution layer — per-vertex
+values (as a SHA-256 of the raw array bytes), per-iteration simulated
+times (as exact float hex strings), transfer and interconnect volumes —
+for all five algorithms x the four multi-device-capable systems at 1, 2
+and 4 devices.  It was captured from the pre-refactor twin-path code
+(``run``/``_run_multi``); ``tests/test_runtime_equivalence.py`` replays
+the same workloads through the unified runtime and compares bitwise.
+
+Run from the repository root::
+
+    python tests/data/generate_runtime_equivalence.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.algorithms.bfs import BFS
+from repro.algorithms.cc import ConnectedComponents
+from repro.algorithms.pagerank import DeltaPageRank
+from repro.algorithms.php import PHP
+from repro.algorithms.sssp import SSSP
+from repro.graph.generators import rmat_graph
+from repro.sim.config import HardwareConfig
+from repro.systems.emogi import EmogiSystem
+from repro.systems.exptm_filter import ExpTMFilterSystem
+from repro.systems.hytgraph import HyTGraphSystem
+from repro.systems.subway import SubwaySystem
+
+OUTPUT = Path(__file__).resolve().parent / "runtime_equivalence.json"
+
+ALGORITHMS = [
+    ("pagerank", DeltaPageRank, None),
+    ("sssp", SSSP, 0),
+    ("bfs", BFS, 0),
+    ("cc", ConnectedComponents, None),
+    ("php", PHP, 0),
+]
+
+SYSTEMS = [
+    ("hytgraph", HyTGraphSystem),
+    ("emogi", EmogiSystem),
+    ("subway", SubwaySystem),
+    ("exptm-f", ExpTMFilterSystem),
+]
+
+DEVICE_COUNTS = [1, 2, 4]
+
+GRAPH_SPEC = {"vertices": 600, "edges": 4800, "seed": 13, "weighted": True}
+
+
+def build_graph():
+    return rmat_graph(
+        GRAPH_SPEC["vertices"],
+        GRAPH_SPEC["edges"],
+        seed=GRAPH_SPEC["seed"],
+        weighted=GRAPH_SPEC["weighted"],
+        name="rmat-equivalence",
+    )
+
+
+def fingerprint(result) -> dict:
+    values = np.ascontiguousarray(np.asarray(result.values))
+    return {
+        "values_sha256": hashlib.sha256(values.tobytes()).hexdigest(),
+        "values_dtype": str(values.dtype),
+        "values_shape": list(values.shape),
+        "iteration_times_hex": [float(s.time).hex() for s in result.iterations],
+        "total_transfer_bytes": int(result.total_transfer_bytes),
+        "total_interconnect_bytes": int(result.total_interconnect_bytes),
+        "num_iterations": int(result.num_iterations),
+        "converged": bool(result.converged),
+    }
+
+
+def main() -> None:
+    graph = build_graph()
+    base = HardwareConfig(gpu_memory_bytes=graph.edge_data_bytes // 2)
+    cases = {}
+    for system_key, system_cls in SYSTEMS:
+        for algorithm_key, algorithm_cls, source in ALGORITHMS:
+            for devices in DEVICE_COUNTS:
+                config = base.with_devices(devices)
+                system = system_cls(graph, config=config)
+                kwargs = {} if source is None else {"source": source}
+                result = system.run(algorithm_cls(), **kwargs)
+                cases["%s/%s/%ddev" % (system_key, algorithm_key, devices)] = fingerprint(result)
+                print("captured %s/%s at %d device(s)" % (system_key, algorithm_key, devices))
+    payload = {
+        "graph": GRAPH_SPEC,
+        "gpu_memory": "edge_data_bytes // 2",
+        "device_counts": DEVICE_COUNTS,
+        "cases": cases,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print("wrote %s (%d cases)" % (OUTPUT, len(cases)))
+
+
+if __name__ == "__main__":
+    main()

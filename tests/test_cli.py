@@ -73,3 +73,49 @@ class TestCommands:
         assert "EMOGI" in output
         assert "HyTGraph" in output
         assert "slowdown" in output
+
+
+class TestBatchCommand:
+    def test_batch_defaults(self):
+        args = build_parser().parse_args(["batch"])
+        assert args.algorithm == "sssp"
+        assert args.system == "hytgraph"
+        assert args.num_queries == 8
+        assert args.sources is None
+
+    def test_batch_sssp(self, capsys):
+        code = main(
+            ["batch", "--dataset", "SK", "--algorithm", "sssp", "--scale", "0.05",
+             "--num-queries", "3"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "batch of 3 queries" in output
+        assert "batch makespan" in output
+        assert "vs sequential serving" in output
+
+    def test_batch_explicit_sources_multi_gpu(self, capsys):
+        code = main(
+            ["batch", "--dataset", "SK", "--algorithm", "bfs", "--scale", "0.05",
+             "--sources", "0", "5", "--devices", "2", "--no-baseline"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "batch of 2 queries" in output
+        assert "x2 GPUs" in output
+        assert "vs sequential" not in output
+
+    def test_batch_sourceless_algorithm_rejects_sources(self):
+        with pytest.raises(SystemExit, match="takes no traversal source"):
+            main(["batch", "--algorithm", "pagerank", "--scale", "0.05",
+                  "--sources", "0"])
+
+    @pytest.mark.parametrize("system", ["grus", "imptm-um"])
+    def test_batch_refuses_multi_device_incapable_system(self, system):
+        with pytest.raises(SystemExit, match="no multi-device execution path"):
+            main(["batch", "--system", system, "--devices", "2", "--scale", "0.05"])
+
+    @pytest.mark.parametrize("system", ["grus", "imptm-um"])
+    def test_run_refuses_multi_device_incapable_system(self, system):
+        with pytest.raises(SystemExit, match="no multi-device execution path"):
+            main(["run", "--system", system, "--devices", "2", "--scale", "0.05"])

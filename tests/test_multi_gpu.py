@@ -18,29 +18,23 @@ import numpy as np
 import pytest
 
 from repro.algorithms.bfs import BFS
-from repro.algorithms.cc import ConnectedComponents
 from repro.algorithms.pagerank import DeltaPageRank
-from repro.algorithms.php import PHP
 from repro.algorithms.sssp import SSSP
 from repro.graph.generators import rmat_graph, uniform_random_graph
 from repro.graph.partition import ShardedPartitioning, partition_by_count
+from repro.runtime.context import MultiDeviceScheduler
 from repro.sim.config import INTERCONNECT_PRESETS, HardwareConfig
-from repro.sim.multi_gpu import MultiDeviceScheduler
 from repro.sim.streams import StreamTask
 from repro.systems.emogi import EmogiSystem
-from repro.systems.exptm_filter import ExpTMFilterSystem
 from repro.systems.hytgraph import HyTGraphSystem
-from repro.systems.subway import SubwaySystem
 
-ALL_ALGORITHMS = [
-    ("pagerank", DeltaPageRank, None),
-    ("sssp", SSSP, 0),
-    ("bfs", BFS, 0),
-    ("cc", ConnectedComponents, None),
-    ("php", PHP, 0),
-]
+# The (algorithm, system, device-count) grid is shared with the
+# bitwise-equivalence fixture generator so the two suites cannot drift.
+from tests.data.generate_runtime_equivalence import ALGORITHMS as _ALGORITHM_GRID
+from tests.data.generate_runtime_equivalence import SYSTEMS as _SYSTEM_GRID
 
-MULTI_SYSTEMS = [HyTGraphSystem, EmogiSystem, SubwaySystem, ExpTMFilterSystem]
+ALL_ALGORITHMS = _ALGORITHM_GRID
+MULTI_SYSTEMS = [system_cls for _, system_cls in _SYSTEM_GRID]
 
 
 def _run(system_cls, graph, config, algorithm_cls, source):
@@ -71,11 +65,20 @@ def test_single_device_bitwise_identical(name, algorithm_cls, source, system_cls
     assert single.total_sync_time == 0.0
 
 
-def test_single_device_system_has_no_sharding():
+def test_single_device_is_the_trivial_sharded_case():
+    # One device is not a separate code path: the context holds one
+    # shard spanning every partition, no residency and no sync overhead.
     graph = rmat_graph(200, 1000, seed=3)
     system = HyTGraphSystem(graph, config=HardwareConfig())
-    assert system.sharding is None
-    assert system.engine.sharding is None
+    context = system.engine.context
+    assert system.context is context
+    assert not context.is_multi_device
+    assert context.sharding.num_devices == 1
+    shard = context.sharding[0]
+    assert (shard.vertex_start, shard.vertex_end) == (0, graph.num_vertices)
+    assert shard.num_partitions == system.engine.partitioning.num_partitions
+    assert context.residency is None
+    assert context.num_resident_partitions == 0
 
 
 def test_systems_without_multi_device_path_refuse_devices():

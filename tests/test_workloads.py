@@ -5,6 +5,7 @@ import pytest
 
 from repro.bench.workloads import (
     PAPER_EDGE_COUNTS,
+    batch_sources,
     build_workload,
     paper_datasets,
     pick_source,
@@ -95,3 +96,42 @@ class TestRunWorkload:
             np.where(np.isinf(first.values), -1, first.values),
             np.where(np.isinf(second.values), -1, second.values),
         )
+
+
+class TestMultiDeviceGuards:
+    @pytest.mark.parametrize("system", ["grus", "imptm-um", "galois"])
+    def test_workload_run_refuses_incapable_system(self, system):
+        workload = build_workload("SK", "bfs", scale=0.05, num_devices=2)
+        with pytest.raises(ValueError, match="no multi-device execution path"):
+            workload.run(system)
+
+    def test_workload_run_batch_refuses_incapable_system(self):
+        workload = build_workload("SK", "sssp", scale=0.05, num_devices=2)
+        with pytest.raises(ValueError, match="no multi-device execution path"):
+            workload.run_batch("grus", [0, 1])
+
+    def test_capable_system_passes_guard(self):
+        workload = build_workload("SK", "bfs", scale=0.05, num_devices=2)
+        workload.check_multi_device("hytgraph")  # no exception
+
+
+class TestBatchWorkloads:
+    def test_batch_sources_distinct_and_by_degree(self):
+        workload = build_workload("SK", "sssp", scale=0.05)
+        sources = batch_sources(workload.graph, 5)
+        assert len(set(sources)) == 5
+        degrees = workload.graph.out_degrees[sources]
+        assert all(degrees[i] >= degrees[i + 1] for i in range(len(degrees) - 1))
+        with pytest.raises(ValueError):
+            batch_sources(workload.graph, 0)
+        with pytest.raises(ValueError):
+            batch_sources(workload.graph, workload.graph.num_vertices + 1)
+
+    def test_run_batch_matches_sequential_values(self):
+        workload = build_workload("SK", "sssp", scale=0.05)
+        sources = batch_sources(workload.graph, 3)
+        batch = workload.run_batch("hytgraph", sources)
+        sequential = workload.run_sequential("hytgraph", sources)
+        assert batch.num_queries == 3
+        for alone, batched in zip(sequential, batch.results):
+            np.testing.assert_array_equal(alone.values, batched.values)
