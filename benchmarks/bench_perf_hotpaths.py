@@ -22,6 +22,11 @@ seed ("pre kernel-layer") implementation:
   numbers are deterministic simulation outputs, so the regression gate
   holds them to the same tolerance as the wall-clock speedups: a drop
   means the serving layer lost amortization, not that CI was slow.
+* **Cache policies** — frontier-aware vs static-prefix device-memory
+  caching (:mod:`repro.cache`) on a memory-constrained transfer-bound
+  wavefront batch, also a deterministic simulated speedup; a drop means
+  the cache subsystem lost reuse (``bench_cache_policies.py`` is the
+  full version).
 
 Results are written to ``BENCH_perf.json`` in the repository root so
 future PRs can track the perf trajectory.
@@ -69,7 +74,7 @@ from repro.core.combiner import ScheduledTask, TaskCombiner
 from repro.core.cost_model import CostModel, PartitionCosts
 from repro.core.engine import HyTGraphEngine
 from repro.core.kernels import legacy_kernels, push_and_activate, scatter_add, scatter_min
-from repro.graph.generators import rmat_graph, uniform_random_graph
+from repro.graph.generators import grid_graph, rmat_graph, uniform_random_graph
 from repro.graph.partition import partition_by_bytes
 from repro.bench.workloads import batch_sources
 from repro.metrics.results import IterationStats
@@ -567,6 +572,49 @@ def run_batch_bench(num_vertices, num_edges, batch_size, devices=2):
 
 
 # ----------------------------------------------------------------------
+# Device-memory cache policies
+# ----------------------------------------------------------------------
+
+
+def run_cache_bench(rows, cols, batch_size, devices=2):
+    """Frontier-aware vs static-prefix caching, as a simulated speedup.
+
+    Like the serving section, the measured quantity is deterministic
+    simulated makespan, so the regression gate holds it to the shared
+    tolerance: a drop means the cache subsystem lost reuse (broken
+    admission, over-eager eviction, lost cross-super-iteration
+    retention), not that CI was slow.  The workload is the
+    memory-constrained transfer-bound wavefront batch of
+    ``benchmarks/bench_cache_policies.py`` at a smaller scale, on the
+    system where caching directly replaces traffic (ExpTM-F).
+    """
+    graph = grid_graph(rows, cols, weighted=True, seed=3)
+    config = HardwareConfig(
+        gpu_memory_bytes=graph.edge_data_bytes // 6, pcie_bandwidth=5e8
+    ).with_devices(devices)
+    queries = [(SSSP(), source) for source in batch_sources(graph, batch_size, seed=11)]
+
+    results = {}
+    makespans = {}
+    for policy in ("static-prefix", "frontier-aware"):
+        system = ExpTMFilterSystem(graph, config=config, cache_policy=policy)
+        batch = QueryBatchRunner(system).run(queries)
+        makespans[policy] = batch.makespan
+        results[policy] = {
+            "makespan_s": batch.makespan,
+            "transfer_bytes": batch.total_transfer_bytes,
+            "cache_hit_bytes": batch.cache_hit_bytes,
+        }
+    speedup = makespans["static-prefix"] / makespans["frontier-aware"]
+    results["speedup"] = speedup
+    print(
+        "  ExpTM-F  static %8.6fs  frontier-aware %8.6fs  speedup %5.2fx"
+        % (makespans["static-prefix"], makespans["frontier-aware"], speedup)
+    )
+    return {"ExpTM-F": results}
+
+
+# ----------------------------------------------------------------------
 # Perf-regression gate
 # ----------------------------------------------------------------------
 
@@ -632,6 +680,25 @@ def check_regressions(current, reference, tolerance):
                 "%s: batched serving speedup %.2fx fell below %.2fx (reference %.2fx - %.0f%%)"
                 % (system_name, entry["speedup"], floor, ref_entry["speedup"], tolerance * 100)
             )
+
+    # Cache-policy speedups: also deterministic simulated numbers; a
+    # drop means the cache subsystem lost reuse.
+    for system_name in sorted(current.get("cache", {})):
+        entry = current["cache"][system_name]
+        ref_entry = reference.get("cache", {}).get(system_name)
+        if not ref_entry or not entry.get("speedup") or not ref_entry.get("speedup"):
+            continue
+        floor = ref_entry["speedup"] * (1.0 - tolerance)
+        ok = entry["speedup"] >= floor
+        print(
+            "  %-9s cache-policy speedup %.2fx (reference %.2fx, floor %.2fx) %s"
+            % (system_name, entry["speedup"], ref_entry["speedup"], floor, "ok" if ok else "REGRESSION")
+        )
+        if not ok:
+            failures.append(
+                "%s: cache-policy speedup %.2fx fell below %.2fx (reference %.2fx - %.0f%%)"
+                % (system_name, entry["speedup"], floor, ref_entry["speedup"], tolerance * 100)
+            )
     return failures
 
 
@@ -695,6 +762,13 @@ def main(argv=None):
     print("== multi-query serving (|V| = %d, K = %d, 2 devices) ==" % (batch_vertices, batch_size))
     batch = run_batch_bench(batch_vertices, batch_edges, batch_size)
 
+    if args.smoke:
+        cache_rows, cache_cols, cache_batch = 40, 30, 4
+    else:
+        cache_rows, cache_cols, cache_batch = 100, 60, 8
+    print("== cache policies (grid %dx%d, K = %d, 2 devices) ==" % (cache_rows, cache_cols, cache_batch))
+    cache = run_cache_bench(cache_rows, cache_cols, cache_batch)
+
     payload = {
         "meta": {
             "harness": "bench_perf_hotpaths",
@@ -709,6 +783,7 @@ def main(argv=None):
         "microbench": microbench,
         "end_to_end": end_to_end,
         "batch": batch,
+        "cache": cache,
     }
     args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print("wrote %s" % args.out)

@@ -100,8 +100,27 @@ class Workload:
             % (system_name, self.config.num_devices, ", ".join(capable))
         )
 
-    def make_queries(self, sources: Sequence[int | None]) -> list[tuple[VertexProgram, int | None]]:
-        """Build (program, source) query pairs for this workload's algorithm."""
+    def make_queries(
+        self,
+        sources: Sequence[int | None] | None = None,
+        count: int | None = None,
+        seed: int | None = None,
+    ) -> list[tuple[VertexProgram, int | None]]:
+        """Build (program, source) query pairs for this workload's algorithm.
+
+        Pass explicit ``sources``, or let ``count`` (with an optional
+        ``seed``) sample them through :func:`batch_sources` — seeded
+        sampling makes batch benchmarks reproducible run-to-run while
+        still exercising divergent working sets.  Sourceless algorithms
+        get ``count`` copies of the ``None`` source.
+        """
+        if sources is None:
+            if count is None:
+                raise ValueError("make_queries needs explicit sources or a count")
+            if self.program.needs_source:
+                sources = batch_sources(self.graph, count, seed=seed)
+            else:
+                sources = [None] * count
         return [(self.program, source) for source in sources]
 
     def run_batch(
@@ -165,11 +184,15 @@ def pick_source(graph: CSRGraph) -> int:
     return int(np.argmax(graph.out_degrees))
 
 
-def batch_sources(graph: CSRGraph, count: int) -> list[int]:
-    """``count`` distinct traversal sources, by descending out-degree.
+def batch_sources(graph: CSRGraph, count: int, seed: int | None = None) -> list[int]:
+    """``count`` distinct traversal sources for a multi-query batch.
 
-    Deterministic and well connected, like :func:`pick_source`; used to
-    build multi-query batch workloads (one SSSP/BFS query per source).
+    Without a ``seed``: the top out-degree vertices, like
+    :func:`pick_source` — deterministic and well connected.  With a
+    ``seed``: a seed-deterministic sample of distinct vertices that have
+    at least one out-edge (falling back to all vertices when the graph
+    has fewer such), so batch benchmarks get *divergent* working sets
+    that are still reproducible run-to-run.
     """
     if count <= 0:
         raise ValueError("count must be positive")
@@ -177,8 +200,15 @@ def batch_sources(graph: CSRGraph, count: int) -> list[int]:
         raise ValueError(
             "cannot pick %d distinct sources in a %d-vertex graph" % (count, graph.num_vertices)
         )
-    order = np.argsort(-graph.out_degrees, kind="stable")
-    return [int(vertex) for vertex in order[:count]]
+    if seed is None:
+        order = np.argsort(-graph.out_degrees, kind="stable")
+        return [int(vertex) for vertex in order[:count]]
+    candidates = np.flatnonzero(graph.out_degrees > 0)
+    if candidates.size < count:
+        candidates = np.arange(graph.num_vertices)
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(candidates, size=count, replace=False)
+    return [int(vertex) for vertex in np.sort(chosen)]
 
 
 def build_workload(

@@ -1,0 +1,29 @@
+"""Adaptive device-memory cache subsystem.
+
+:class:`~repro.cache.manager.CacheManager` owns per-device byte budgets
+and partition-granularity residency sets; :mod:`repro.cache.policy`
+provides the pluggable eviction policies (``static-prefix``, ``lru``,
+``frontier-aware``).  The execution runtime builds one manager per
+session (:class:`~repro.runtime.context.ExecutionContext`) and every
+whole-partition transfer path bills through it.
+"""
+
+from repro.cache.manager import CacheManager
+from repro.cache.policy import (
+    CACHE_POLICIES,
+    EvictionPolicy,
+    FrontierAwarePolicy,
+    LruPolicy,
+    StaticPrefixPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "CacheManager",
+    "CACHE_POLICIES",
+    "EvictionPolicy",
+    "FrontierAwarePolicy",
+    "LruPolicy",
+    "StaticPrefixPolicy",
+    "make_policy",
+]

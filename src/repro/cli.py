@@ -25,15 +25,49 @@ from typing import Sequence
 
 from repro.algorithms import ALGORITHMS
 from repro.bench.workloads import batch_sources, build_workload
+from repro.cache import CACHE_POLICIES
 from repro.graph.datasets import dataset_names, load_dataset
 from repro.graph.properties import summarize
 from repro.metrics.tables import format_table
 from repro.sim.config import INTERCONNECT_PRESETS
 from repro.systems import SYSTEMS
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "parse_byte_size"]
 
 DEFAULT_COMPARE_SYSTEMS = ["exptm-f", "imptm-um", "grus", "subway", "emogi", "hytgraph"]
+
+_BYTE_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3}
+
+
+def parse_byte_size(text: str) -> int:
+    """Parse a byte count like ``1048576``, ``64M`` or ``2g``."""
+    raw = text.strip().lower()
+    multiplier = 1
+    if raw and raw[-1] in _BYTE_SUFFIXES:
+        multiplier = _BYTE_SUFFIXES[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "invalid byte size %r (use an integer, optionally suffixed K/M/G)" % text
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("byte size must be non-negative")
+    return value * multiplier
+
+
+def _add_cache_arguments(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--cache-policy", default="static-prefix", choices=sorted(CACHE_POLICIES),
+        help="device-memory cache eviction policy (static-prefix reproduces "
+             "the historical shard residency; lru/frontier-aware adapt per iteration)",
+    )
+    subparser.add_argument(
+        "--cache-budget", type=parse_byte_size, default=None, metavar="BYTES",
+        help="per-device cache budget in bytes, K/M/G suffixes allowed "
+             "(default: the device's edge-cache memory)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="number of GPUs (>1 enables the sharded multi-GPU layer)")
     run.add_argument("--interconnect", default=None, choices=sorted(INTERCONNECT_PRESETS),
                      help="inter-GPU link preset (default: nvlink)")
+    _add_cache_arguments(run)
     run.add_argument("--iterations", action="store_true", help="print the per-iteration table")
 
     compare = subparsers.add_parser("compare", help="run one workload on several systems")
@@ -71,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="number of GPUs (>1 enables the sharded multi-GPU layer)")
     compare.add_argument("--interconnect", default=None, choices=sorted(INTERCONNECT_PRESETS),
                          help="inter-GPU link preset (default: nvlink)")
+    _add_cache_arguments(compare)
 
     batch = subparsers.add_parser(
         "batch", help="serve a batch of concurrent queries on one system"
@@ -89,8 +125,12 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--num-queries", type=int, default=8,
                        help="query count when --sources is not given "
                             "(top-out-degree sources for source-based algorithms)")
+    batch.add_argument("--seed", type=int, default=None,
+                       help="sample --num-queries sources seed-deterministically "
+                            "instead of taking the top-out-degree ones")
     batch.add_argument("--no-baseline", action="store_true",
                        help="skip the sequential (unbatched) baseline runs")
+    _add_cache_arguments(batch)
     return parser
 
 
@@ -116,13 +156,38 @@ def _require_multi_device_capable(system_name: str, devices: int) -> None:
         )
 
 
+def _cache_kwargs(args: argparse.Namespace) -> dict:
+    """System kwargs for the device-memory cache CLI options.
+
+    Rejects a ``--cache-budget`` that could not take effect: under the
+    default ``static-prefix`` policy a cache exists only on multi-device
+    sessions, so a single-device run would silently ignore the budget.
+    """
+    if (
+        args.cache_budget is not None
+        and args.cache_policy == "static-prefix"
+        and args.devices <= 1
+    ):
+        raise SystemExit(
+            "--cache-budget has no effect here: the default static-prefix policy "
+            "builds a device cache only with --devices > 1; pick an adaptive "
+            "--cache-policy (lru, frontier-aware) or add devices"
+        )
+    kwargs: dict = {}
+    if args.cache_policy != "static-prefix":
+        kwargs["cache_policy"] = args.cache_policy
+    if args.cache_budget is not None:
+        kwargs["cache_budget"] = args.cache_budget
+    return kwargs
+
+
 def _cmd_run(args: argparse.Namespace) -> str:
     _require_multi_device_capable(args.system, args.devices)
     workload = build_workload(
         args.dataset, args.algorithm, scale=args.scale, preset=args.gpu,
         num_devices=args.devices, interconnect=args.interconnect,
     )
-    result = workload.run(args.system)
+    result = workload.run(args.system, **_cache_kwargs(args))
     lines = [
         "%s / %s on %s (%d vertices, %d edges)" % (
             result.system, result.algorithm, args.dataset,
@@ -144,6 +209,17 @@ def _cmd_run(args: argparse.Namespace) -> str:
             "multi-GPU: %d devices over %s, boundary sync %.3f KB in %.6f s" % (
                 args.devices, workload.config.interconnect_kind,
                 result.total_interconnect_bytes / 1024, result.total_sync_time,
+            )
+        )
+    if args.cache_policy != "static-prefix" or result.total_cache_hit_bytes:
+        lines.append(
+            "device cache (%s): %.3f MB hits, %.3f MB misses, %.3f MB evicted "
+            "(%.1f%% hit rate)" % (
+                args.cache_policy,
+                result.total_cache_hit_bytes / 1e6,
+                result.total_cache_miss_bytes / 1e6,
+                result.total_cache_evicted_bytes / 1e6,
+                100.0 * result.cache_hit_rate,
             )
         )
     text = "\n".join(lines) + "\n"
@@ -181,7 +257,7 @@ def _cmd_compare(args: argparse.Namespace) -> str:
             )
     rows = []
     for system_name in systems:
-        result = workload.run(system_name)
+        result = workload.run(system_name, **_cache_kwargs(args))
         rows.append(
             {
                 "system": result.system,
@@ -211,12 +287,16 @@ def _cmd_batch(args: argparse.Namespace) -> str:
         num_devices=args.devices, interconnect=args.interconnect,
     )
     if workload.program.needs_source:
-        sources = args.sources if args.sources else batch_sources(workload.graph, args.num_queries)
+        sources = (
+            args.sources
+            if args.sources
+            else batch_sources(workload.graph, args.num_queries, seed=args.seed)
+        )
     else:
         if args.sources:
             raise SystemExit("algorithm %r takes no traversal source" % args.algorithm)
         sources = [None] * args.num_queries
-    batch = workload.run_batch(args.system, sources)
+    batch = workload.run_batch(args.system, sources, **_cache_kwargs(args))
 
     rows = [
         {
@@ -242,9 +322,15 @@ def _cmd_batch(args: argparse.Namespace) -> str:
         "batch transfer volume: %.3f MB (%.3f MB amortized across queries)" % (
             batch.total_transfer_bytes / 1e6, batch.amortized_bytes / 1e6,
         ),
+        "device cache (%s): %.3f MB hits, %.3f MB misses, %.3f MB evicted" % (
+            batch.extra.get("cache_policy", args.cache_policy),
+            batch.cache_hit_bytes / 1e6,
+            batch.cache_miss_bytes / 1e6,
+            batch.cache_evicted_bytes / 1e6,
+        ),
     ]
     if not args.no_baseline:
-        sequential = workload.run_sequential(args.system, sources)
+        sequential = workload.run_sequential(args.system, sources, **_cache_kwargs(args))
         stats = batch.amortization_vs(sequential)
         lines.append(
             "vs sequential serving: %.2fx speedup (%.6f s -> %.6f s), "

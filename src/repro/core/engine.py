@@ -52,7 +52,7 @@ measures both layers against the seed implementation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -89,6 +89,7 @@ __all__ = ["HyTGraphOptions", "HyTGraphEngine"]
 DEFAULT_PARTITION_DIVISOR = 64
 
 
+
 @dataclass
 class HyTGraphOptions:
     """Tunable behaviour of the HyTGraph engine.
@@ -120,6 +121,14 @@ class HyTGraphOptions:
         The α/β engine-selection thresholds.
     max_iterations:
         Safety bound on outer iterations.
+    cache_policy / cache_budget:
+        Device-memory cache subsystem (:mod:`repro.cache`):
+        ``"static-prefix"`` (default) pins each shard's leading
+        partitions exactly as the historical residency did; ``"lru"``
+        and ``"frontier-aware"`` adapt the resident set every iteration
+        and work at any device count.  ``cache_budget`` is the
+        per-device byte budget (default: the device's edge-cache
+        memory).
     """
 
     partition_bytes: int | None = None
@@ -132,6 +141,8 @@ class HyTGraphOptions:
     recompute_loaded: bool = True
     thresholds: SelectionThresholds = field(default_factory=SelectionThresholds)
     max_iterations: int = 10_000
+    cache_policy: str = "static-prefix"
+    cache_budget: int | None = None
 
 
 class HyTGraphEngine:
@@ -181,12 +192,18 @@ class HyTGraphEngine:
             EngineKind.IMP_ZERO_COPY: ZeroCopyEngine(self.graph, self.config),
         }
 
-        # Device-agnostic execution runtime: shards, residency and the
-        # shared-host scheduler.  One device is the trivial case — one
-        # shard spanning every partition, no residency, no boundary
-        # exchange — so single-device runs stay bitwise identical to the
-        # historical dedicated path.
-        self.context = ExecutionContext(self.graph, self.partitioning, self.config)
+        # Device-agnostic execution runtime: shards, the device-memory
+        # cache and the shared-host scheduler.  One device is the
+        # trivial case — one shard spanning every partition, no static
+        # residency, no boundary exchange — so default single-device
+        # runs stay bitwise identical to the historical dedicated path.
+        self.context = ExecutionContext(
+            self.graph,
+            self.partitioning,
+            self.config,
+            cache_policy=self.options.cache_policy,
+            cache_budget=self.options.cache_budget,
+        )
         self.driver = IterationDriver(self.context)
 
     @property
@@ -288,7 +305,9 @@ class HyTGraphEngine:
         state: ProgramState,
         pending: np.ndarray,
     ) -> IterationStats:
-        return self.driver.finish(self._plan(iteration, program, state, pending))
+        return self.driver.finish(
+            self.driver.windowed_plan(lambda: self._plan(iteration, program, state, pending))
+        )
 
     def plan_iteration(
         self, session: QuerySession, shared: SharedTransferState | None = None
@@ -335,6 +354,16 @@ class HyTGraphEngine:
 
         # ----- Stage 1: per-device cost-aware task generation --------------
         costs = self.cost_model.estimate(pending, active_ids=active_ids)
+        cache = context.cache
+        if cache is not None and cache.adaptive:
+            # Frontier observation feeds the eviction policy (committed
+            # at the next iteration boundary), and the cost model learns
+            # what is already on a device: resident partitions — and,
+            # under the batch runner, partitions another query shipped
+            # this super-iteration — price the filter engine at zero,
+            # so queries B..K select the free path query A paid for.
+            cache.observe_frontier(costs.active_edges)
+            costs = self._discount_on_device_filter(costs, cache, shared)
         selection = self._force_resident_filter(self.selector.select(costs))
         device_task_lists: list[list[ScheduledTask]] = [
             self._device_tasks(shard, selection, pending, active_ids, program, state)
@@ -399,21 +428,43 @@ class HyTGraphEngine:
             overhead_time=generation_overhead,
         )
 
+    @staticmethod
+    def _discount_on_device_filter(
+        costs, cache, shared: SharedTransferState | None
+    ):
+        """Zero the filter cost of partitions already in device memory.
+
+        The cache-aware cost-model hook (adaptive policies only): a
+        cache-resident partition — or one already shipped by a peer
+        query this super-iteration — costs nothing to read through the
+        filter path, so the selector sees a zero filter cost and never
+        pays compaction or zero-copy for bytes a device already holds.
+        This is the batch-aware pricing: query A's ship makes the
+        filter engine free for queries B..K planning later in the same
+        super-iteration.
+        """
+        free_mask = cache.resident.copy()
+        if shared is not None and shared.shipped:
+            free_mask[list(shared.shipped)] = True
+        if not free_mask.any():
+            return costs
+        return replace(costs, filter_cost=np.where(free_mask, 0.0, costs.filter_cost))
+
     def _force_resident_filter(self, selection: SelectionResult) -> SelectionResult:
         """Pin resident partitions to the filter engine.
 
         A partition resident in its device's memory needs no per-iteration
         transfer at all; compacting or zero-copy-reading it would move
         bytes it already holds.  The filter path prices it correctly:
-        one whole-partition copy on first touch, free afterwards
-        (:meth:`_account_task_transfer`).  Single-device sessions have no
-        residency, so this is the identity there.
+        one whole-partition copy on first touch (a miss under adaptive
+        policies), free afterwards (:meth:`_account_task_transfer`).
+        Cacheless sessions make this the identity.
         """
-        residency = self.context.residency
-        if residency is None or not residency.resident.any():
+        cache = self.context.cache
+        if cache is None or not cache.resident.any():
             return selection
         choices = list(selection.choices)
-        for index in np.flatnonzero(residency.resident):
+        for index in np.flatnonzero(cache.resident):
             if choices[index] is not None:
                 choices[index] = EngineKind.EXP_FILTER
         return SelectionResult(choices=choices)
@@ -549,25 +600,27 @@ class HyTGraphEngine:
     ) -> TransferOutcome:
         """Price one task's data movement, skipping already-on-device data.
 
-        Filter tasks may cover partitions that are shard-resident (paid
-        once on first touch, free afterwards) or, under the batch runner,
-        already shipped by another query this super-iteration.  Every
-        partition inside a task holds at least one active vertex, so the
-        billable filter cost is simply the per-partition copy sum —
-        identical to :meth:`~repro.transfer.explicit_filter.ExplicitFilterEngine`'s
+        Filter tasks may cover partitions that are cache-resident (free
+        reads — a one-off first-touch copy under the static policy, an
+        admission after a billed miss under the adaptive ones) or, under
+        the batch runner, already shipped by another query this
+        super-iteration.  Every partition inside a task holds at least
+        one active vertex, so the billable filter cost is simply the
+        per-partition copy sum — identical to
+        :meth:`~repro.transfer.explicit_filter.ExplicitFilterEngine`'s
         whole-partition pricing.  Compaction and zero-copy transfers are
         query-specific and never shareable; resident partitions never
         choose them (:meth:`_force_resident_filter`).
         """
-        residency = self.context.residency
-        if task.engine != EngineKind.EXP_FILTER or (residency is None and shared is None):
+        cache = self.context.cache
+        if task.engine != EngineKind.EXP_FILTER or (cache is None and shared is None):
             return self._account_transfer(task)
-        billable = list(task.partition_indices)
-        if residency is not None:
-            billable, _ = residency.split_billable(billable)
-        if shared is not None:
+        if cache is not None:
+            billable = cache.claim_billable(task.partition_indices, shared)
+        else:
             billable = shared.claim_partitions(
-                billable, lambda index: self.partitioning[index].edge_bytes
+                list(task.partition_indices),
+                lambda index: self.partitioning[index].edge_bytes,
             )
         engine = self.engines[EngineKind.EXP_FILTER]
         bytes_total = 0

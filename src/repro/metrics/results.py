@@ -50,6 +50,11 @@ class IterationStats:
     sync_time:
         Seconds of the boundary-synchronisation phase (0 on single-device
         runs).
+    cache_hit_bytes / cache_miss_bytes / cache_evicted_bytes:
+        Device-memory cache traffic of the iteration: whole-partition
+        bytes served from resident partitions for free, bytes billed as
+        misses, and bytes evicted by the policy (all 0 on cacheless
+        sessions).
     """
 
     index: int
@@ -65,6 +70,9 @@ class IterationStats:
     engine_tasks: dict[str, int] = field(default_factory=dict)
     interconnect_bytes: int = 0
     sync_time: float = 0.0
+    cache_hit_bytes: int = 0
+    cache_miss_bytes: int = 0
+    cache_evicted_bytes: int = 0
 
     def breakdown(self) -> dict[str, float]:
         """The Figure 3(b)/(c) style {compaction, transfer, computation} split."""
@@ -145,6 +153,29 @@ class RunResult:
         """Total boundary-synchronisation seconds (0 on single-device runs)."""
         return float(sum(stat.sync_time for stat in self.iterations))
 
+    @property
+    def total_cache_hit_bytes(self) -> int:
+        """Whole-partition bytes served from the device cache for free."""
+        return int(sum(stat.cache_hit_bytes for stat in self.iterations))
+
+    @property
+    def total_cache_miss_bytes(self) -> int:
+        """Whole-partition bytes billed as device-cache misses."""
+        return int(sum(stat.cache_miss_bytes for stat in self.iterations))
+
+    @property
+    def total_cache_evicted_bytes(self) -> int:
+        """Bytes evicted from the device cache by its policy."""
+        return int(sum(stat.cache_evicted_bytes for stat in self.iterations))
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of whole-partition cache traffic served for free."""
+        looked_up = self.total_cache_hit_bytes + self.total_cache_miss_bytes
+        if looked_up <= 0:
+            return 0.0
+        return self.total_cache_hit_bytes / looked_up
+
     def transfer_ratio(self, edge_data_bytes: int) -> float:
         """Transfer volume divided by one full pass over the edge data.
 
@@ -212,6 +243,10 @@ class BatchResult:
         Whole-partition transfer bytes that were *not* re-shipped
         because another query in the same super-iteration already moved
         the partition (0 for systems with no shareable transfers).
+    cache_hit_bytes / cache_miss_bytes / cache_evicted_bytes:
+        Batch-wide device-memory cache traffic, measured at the cache
+        manager (unlike the per-query sums, this includes evictions at
+        super-iteration boundaries, which no single query owns).
     """
 
     system: str
@@ -221,7 +256,14 @@ class BatchResult:
     makespan: float = 0.0
     super_iterations: int = 0
     amortized_bytes: int = 0
+    cache_hit_bytes: int = 0
+    cache_miss_bytes: int = 0
+    cache_evicted_bytes: int = 0
     extra: dict[str, object] = field(default_factory=dict)
+
+    #: Simulated times at or below this are treated as degenerate when
+    #: forming ratios (tiny graphs can converge in ~zero simulated time).
+    ZERO_TIME_EPS = 1e-12
 
     @property
     def num_queries(self) -> int:
@@ -230,8 +272,12 @@ class BatchResult:
 
     @property
     def queries_per_second(self) -> float:
-        """Aggregate simulated throughput of the batch."""
-        if self.makespan <= 0.0:
+        """Aggregate simulated throughput of the batch.
+
+        0.0 for degenerate (zero/near-zero makespan) batches rather
+        than an infinite rate.
+        """
+        if self.makespan <= self.ZERO_TIME_EPS:
             return 0.0
         return self.num_queries / self.makespan
 
@@ -261,11 +307,22 @@ class BatchResult:
         ``sequential`` holds one :class:`RunResult` per query from
         running them back to back on a cold session each (what a
         serving layer without batching would do).
+
+        Degenerate baselines stay finite: when either side of the
+        comparison is zero/near-zero simulated time (tiny graphs that
+        converge instantly), the speedup is reported as a neutral 1.0
+        and ``degenerate`` is set, instead of dividing through to
+        ``inf``/``nan``.
         """
         sequential_time = float(sum(result.total_time for result in sequential))
         sequential_bytes = int(sum(result.total_transfer_bytes for result in sequential))
+        degenerate = (
+            self.makespan <= self.ZERO_TIME_EPS or sequential_time <= self.ZERO_TIME_EPS
+        )
+        speedup = 1.0 if degenerate else sequential_time / self.makespan
         return {
-            "speedup": sequential_time / self.makespan if self.makespan > 0 else float("inf"),
+            "speedup": speedup,
+            "degenerate": degenerate,
             "sequential_time": sequential_time,
             "batched_time": self.makespan,
             "sequential_transfer_bytes": float(sequential_bytes),
@@ -284,4 +341,5 @@ class BatchResult:
             "queries_per_s": round(self.queries_per_second, 3),
             "transfer_MB": round(self.total_transfer_bytes / (1024 * 1024), 3),
             "amortized_MB": round(self.amortized_bytes / (1024 * 1024), 3),
+            "cache_hit_MB": round(self.cache_hit_bytes / (1024 * 1024), 3),
         }

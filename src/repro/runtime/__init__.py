@@ -4,9 +4,10 @@ The runtime collapses the historical single-device / multi-device twin
 code paths into one substrate:
 
 * :class:`~repro.runtime.context.ExecutionContext` — devices, shards,
-  residency and the shared-host scheduler, built once per session;
-  ``num_devices == 1`` is the trivial (one-shard, zero-sync) case of the
-  sharded path, not a separate branch.
+  the device-memory cache (:mod:`repro.cache`) and the shared-host
+  scheduler, built once per session; ``num_devices == 1`` is the
+  trivial (one-shard, zero-sync) case of the sharded path, not a
+  separate branch.
 * :class:`~repro.runtime.driver.IterationDriver` — turns per-iteration
   :class:`~repro.runtime.driver.IterationPlan`s (per-device stream-task
   lists + remote-activation counts) into scheduled timelines and filled

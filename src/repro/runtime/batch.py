@@ -47,11 +47,21 @@ class SharedTransferState:
     which is identical for every query; once one query ships a partition
     in a super-iteration, the partition sits in device memory for the
     rest of that super-iteration and the other queries' kernels read it
-    for free.  The set resets every super-iteration — in the
-    oversubscribed regime the working set churns between iterations, so
-    no cross-iteration reuse is assumed (shard residency, which *is*
-    persistent, is modelled separately by
-    :class:`~repro.transfer.residency.ShardResidency`).
+    for free.  The transient set resets every super-iteration — under
+    the default ``static-prefix`` policy the oversubscribed working set
+    churns between iterations, so no cross-iteration reuse is assumed
+    beyond the persistent shard residency
+    (:class:`~repro.transfer.residency.ShardResidency`).
+
+    Under an adaptive cache policy this forget-everything behaviour is
+    superseded: every shipped partition is offered to the
+    :class:`~repro.cache.manager.CacheManager` for admission, and the
+    hottest ones stay resident *across* super-iterations — a later
+    super-iteration's queries hit the cache instead of re-shipping.
+    This object then only dedups the ships the cache declined to keep,
+    and its :attr:`shipped` set feeds the batch-aware cost model: a
+    partition already shipped for query A prices the filter engine at
+    zero for queries B..K planning later in the same super-iteration.
     """
 
     def __init__(self) -> None:
@@ -59,8 +69,13 @@ class SharedTransferState:
         #: Whole-partition bytes *not* re-shipped thanks to batching.
         self.amortized_bytes: int = 0
 
+    @property
+    def shipped(self) -> frozenset[int]:
+        """Partitions already on a device this super-iteration."""
+        return frozenset(self._shipped)
+
     def begin_super_iteration(self) -> None:
-        """Forget the shipped set (device working set churns)."""
+        """Forget the transient shipped set (cache admissions persist)."""
         self._shipped.clear()
 
     def claim_partitions(
@@ -119,6 +134,8 @@ class QueryBatchRunner:
             system.start_session(program, source) for program, source in queries
         ]
         shared = SharedTransferState()
+        cache = context.cache
+        cache_before = cache.snapshot_counters() if cache is not None else None
 
         makespan = 0.0
         super_iterations = 0
@@ -131,10 +148,16 @@ class QueryBatchRunner:
             if not live:
                 break
             shared.begin_super_iteration()
+            if cache is not None:
+                # One cache observation window per super-iteration: the
+                # frontier-aware policy rescores and evicts collapsed
+                # partitions once per boundary, over the union of every
+                # live query's frontier.
+                cache.begin_iteration()
 
             # Plan every live query's iteration (mutates its state and the
             # shared warm-transfer bookkeeping, in deterministic query order).
-            plans = [(session, system.plan_iteration(session, shared=shared)) for session in live]
+            plans = [(session, driver.plan(system, session, shared=shared)) for session in live]
 
             merged_tasks = context.empty_device_lists()
             merged_sync = [0] * context.num_devices
@@ -158,6 +181,11 @@ class QueryBatchRunner:
 
         results = [system.finish_session(session) for session in sessions]
         first = results[0]
+        cache_totals = (
+            cache.delta(cache_before) if cache is not None else dict.fromkeys(
+                ("hit_bytes", "miss_bytes", "evicted_bytes"), 0
+            )
+        )
         return BatchResult(
             system=first.system,
             algorithm=first.algorithm,
@@ -166,8 +194,12 @@ class QueryBatchRunner:
             makespan=makespan,
             super_iterations=super_iterations,
             amortized_bytes=shared.amortized_bytes,
+            cache_hit_bytes=cache_totals["hit_bytes"],
+            cache_miss_bytes=cache_totals["miss_bytes"],
+            cache_evicted_bytes=cache_totals["evicted_bytes"],
             extra={
                 "num_devices": context.num_devices,
                 "resident_partitions": context.num_resident_partitions,
+                "cache_policy": context.cache_policy,
             },
         )

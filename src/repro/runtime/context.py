@@ -48,6 +48,7 @@ from repro.sim.events import (
     Timeline,
     TimelineEntry,
 )
+from repro.cache.manager import CacheManager
 from repro.sim.kernel import KernelModel
 from repro.sim.streams import ResourceState, StreamScheduler, StreamTask
 from repro.transfer.residency import ShardResidency
@@ -136,7 +137,7 @@ class MultiDeviceScheduler:
 
 
 class ExecutionContext:
-    """Devices, shards, residency and schedulers of one execution session.
+    """Devices, shards, device-memory cache and schedulers of one session.
 
     Parameters
     ----------
@@ -145,10 +146,21 @@ class ExecutionContext:
         edge partitioning, and the hardware platform.
     residency_enabled:
         Whether multi-device sessions pin leading shard partitions into
-        device memory (:class:`~repro.transfer.residency.ShardResidency`).
-        Single-device sessions are always residency-free, exactly as in
+        device memory under the default ``static-prefix`` policy
+        (:class:`~repro.transfer.residency.ShardResidency`).  Static
+        single-device sessions are always residency-free, exactly as in
         the paper: its testbed graphs oversubscribe one GPU's memory, so
-        partitions churn and caching buys nothing there.
+        partitions churn and static caching buys nothing there.
+    cache_policy:
+        Eviction policy of the device-memory cache subsystem
+        (:mod:`repro.cache`).  ``"static-prefix"`` (default) reproduces
+        the historical behaviour bitwise; the adaptive policies
+        (``"lru"``, ``"frontier-aware"``) start empty, admit shipped
+        partitions and evict at iteration boundaries — and are active
+        at *any* device count, including one.
+    cache_budget:
+        Per-device cache budget in bytes (default: the device's
+        edge-cache memory, ``config.gpu_memory_bytes``).
     """
 
     def __init__(
@@ -157,15 +169,26 @@ class ExecutionContext:
         partitioning: Partitioning,
         config: HardwareConfig,
         residency_enabled: bool = True,
+        cache_policy: str = "static-prefix",
+        cache_budget: int | None = None,
     ):
         self.graph = graph
         self.partitioning = partitioning
         self.config = config
         self.num_devices = config.num_devices
         self.sharding = ShardedPartitioning(partitioning, config.num_devices)
-        self.residency: ShardResidency | None = None
-        if self.is_multi_device and residency_enabled:
-            self.residency = ShardResidency(partitioning, self.sharding, config)
+        self.cache: CacheManager | None = None
+        if cache_policy != "static-prefix":
+            # Adaptive policies replace static residency wholesale and
+            # apply at any device count.
+            self.cache = CacheManager(
+                partitioning, self.sharding, config,
+                policy=cache_policy, budget_bytes=cache_budget,
+            )
+        elif self.is_multi_device and residency_enabled:
+            self.cache = ShardResidency(
+                partitioning, self.sharding, config, budget_bytes=cache_budget
+            )
         self.scheduler = MultiDeviceScheduler(config)
         self.kernel_model = KernelModel(config)
 
@@ -175,14 +198,30 @@ class ExecutionContext:
         return self.num_devices > 1
 
     @property
+    def residency(self) -> CacheManager | None:
+        """The static residency cache (``None`` under adaptive policies).
+
+        Kept as the historical name for the ``static-prefix`` resident
+        sets; code that handles both modes should use :attr:`cache`.
+        """
+        if self.cache is not None and not self.cache.adaptive:
+            return self.cache
+        return None
+
+    @property
+    def cache_policy(self) -> str:
+        """Active cache policy name (``static-prefix`` when cacheless)."""
+        return "static-prefix" if self.cache is None else self.cache.policy_name
+
+    @property
     def num_resident_partitions(self) -> int:
-        """Partitions pinned into device memory across all shards."""
-        return 0 if self.residency is None else self.residency.num_resident
+        """Partitions resident in device memory across all shards."""
+        return 0 if self.cache is None else self.cache.num_resident
 
     def reset(self) -> None:
-        """Forget cross-run state (residency first-touch flags)."""
-        if self.residency is not None:
-            self.residency.reset()
+        """Forget cross-run cache state (residency flags, adaptive contents)."""
+        if self.cache is not None:
+            self.cache.reset()
 
     # ------------------------------------------------------------------
     # Frontier topology helpers

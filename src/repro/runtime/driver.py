@@ -145,6 +145,53 @@ class IterationDriver:
                 remote_updates[device] += self.context.count_remote(newly_active, device)
 
     # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(self, planner, session: QuerySession, shared=None) -> IterationPlan:
+        """Run one planner iteration with device-cache bookkeeping.
+
+        Solo runs open a new cache observation window per iteration;
+        under the batch runner (``shared`` set) the window is opened
+        once per *super*-iteration before any query plans, so
+        frontier-aware eviction fires once per boundary regardless of
+        the live-query count.  Either way the plan's stats are stamped
+        with the cache hit/miss/evicted bytes the planning incurred.
+        """
+        if shared is None:
+            return self.windowed_plan(lambda: planner.plan_iteration(session))
+        cache = self.context.cache
+        if cache is None:
+            return planner.plan_iteration(session, shared=shared)
+        before = cache.snapshot_counters()
+        plan = planner.plan_iteration(session, shared=shared)
+        self.annotate_cache(plan.stats, cache.delta(before))
+        return plan
+
+    def windowed_plan(self, make_plan) -> IterationPlan:
+        """Run ``make_plan()`` inside one fresh cache observation window.
+
+        The counter snapshot is taken *before* the window opens so the
+        boundary evictions committed by
+        :meth:`~repro.cache.manager.CacheManager.begin_iteration` are
+        attributed to the iteration that triggered them.
+        """
+        cache = self.context.cache
+        if cache is None:
+            return make_plan()
+        before = cache.snapshot_counters()
+        cache.begin_iteration()
+        plan = make_plan()
+        self.annotate_cache(plan.stats, cache.delta(before))
+        return plan
+
+    @staticmethod
+    def annotate_cache(stats: IterationStats, delta: dict[str, int]) -> None:
+        """Fill one iteration's cache fields from a counter delta."""
+        stats.cache_hit_bytes = delta["hit_bytes"]
+        stats.cache_miss_bytes = delta["miss_bytes"]
+        stats.cache_evicted_bytes = delta["evicted_bytes"]
+
+    # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
     def finish(self, plan: IterationPlan) -> IterationStats:
@@ -167,7 +214,7 @@ class IterationDriver:
         a :class:`~repro.systems.base.GraphSystem` or the HyTGraph engine.
         """
         while session.pending.any() and session.iteration < max_iterations:
-            plan = planner.plan_iteration(session)
+            plan = self.plan(planner, session)
             session.result.iterations.append(self.finish(plan))
             session.iteration += 1
         return session

@@ -70,10 +70,18 @@ class GraphSystem(ABC):
         num_partitions: int | None = None,
         partition_bytes: int | None = None,
         max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        cache_policy: str = "static-prefix",
+        cache_budget: int | None = None,
     ):
         self.graph = graph
         self.config = config or default_config()
         self.max_iterations = max_iterations
+        #: Device-memory cache policy/budget (:mod:`repro.cache`).
+        #: Whole-partition transfer paths consult the context's cache;
+        #: systems whose transfers are query-specific (compaction,
+        #: zero-copy, UM paging) simply never hit it.
+        self.cache_policy = cache_policy
+        self.cache_budget = cache_budget
         if self.config.num_devices > 1 and not self.supports_multi_device:
             raise ValueError(
                 "%s has no multi-device execution path; run it with num_devices=1"
@@ -83,7 +91,13 @@ class GraphSystem(ABC):
         self.pcie = PCIeModel(self.config)
         if self.builds_runtime:
             self.partitioning = self._build_partitioning(num_partitions, partition_bytes)
-            self.context = ExecutionContext(self.graph, self.partitioning, self.config)
+            self.context = ExecutionContext(
+                self.graph,
+                self.partitioning,
+                self.config,
+                cache_policy=cache_policy,
+                cache_budget=cache_budget,
+            )
             self.driver = IterationDriver(self.context)
 
     @property

@@ -17,6 +17,13 @@ active vertices of its own shard; all reads cross the shared host PCIe
 complex, each device's kernel overlaps its own reads, and the iteration
 ends with the boundary-delta exchange.  Sharding splits the work but not
 the traffic.
+
+The device-memory cache subsystem (:mod:`repro.cache`) is wired through
+the shared runtime, but zero-copy reads never populate it: they move
+only the requested words and leave no reusable partition image in
+device memory, so EMOGI's ``cache_hit_bytes`` stay zero under every
+policy — which is precisely its no-reuse weakness, now visible in the
+metrics.
 """
 
 from __future__ import annotations

@@ -13,6 +13,13 @@ unchanged — sharding splits the partitions, not the redundant bytes
 inside them.  Under the batch runner the whole-partition copies *are*
 shareable: a partition shipped for one query in a super-iteration is on
 the device for every other query active in it.
+
+Because every transfer is a whole partition, this system benefits most
+directly from the adaptive device-memory cache (:mod:`repro.cache`):
+under ``lru`` / ``frontier-aware`` policies a shipped partition stays
+resident until evicted, and later iterations (or later super-iterations
+of a batch) read it for free.  The default ``static-prefix`` policy
+leaves the historical ship-every-iteration behaviour untouched.
 """
 
 from __future__ import annotations
@@ -51,6 +58,19 @@ class ExpTMFilterSystem(GraphSystem):
         boundaries = np.append(self.partitioning.vertex_starts, self.graph.num_vertices)
         cuts = np.searchsorted(active_ids, boundaries)
 
+        cache = self.context.cache
+        cache = cache if cache is not None and cache.adaptive else None
+        if cache is not None and active_ids.size:
+            # Feed the eviction policy this iteration's per-partition
+            # active-edge counts (committed at the next boundary).
+            degrees = self.graph.out_degrees[active_ids]
+            partition_of = self.partitioning.partition_of_vertices(active_ids)
+            cache.observe_frontier(
+                np.bincount(
+                    partition_of, weights=degrees, minlength=self.partitioning.num_partitions
+                ).astype(np.int64)
+            )
+
         device_tasks: list[list[StreamTask]] = self.context.empty_device_lists()
         transfer_bytes = 0
         active_partition_count = 0
@@ -63,11 +83,17 @@ class ExpTMFilterSystem(GraphSystem):
             active_partition_count += 1
             task_count += 1
             kernel_time = self.kernel_model.kernel_time(self._active_edge_count(in_partition))
-            if shared is not None and not shared.claim_partitions(
-                [partition.index], lambda index: self.partitioning[index].edge_bytes
-            ):
-                # Another query in this batch super-iteration already
-                # shipped the partition; only the kernel runs.
+            if cache is not None:
+                billable = cache.claim_billable([partition.index], shared)
+            elif shared is not None:
+                billable = shared.claim_partitions(
+                    [partition.index], lambda index: self.partitioning[index].edge_bytes
+                )
+            else:
+                billable = [partition.index]
+            if not billable:
+                # Cache-resident, or another query in this batch
+                # super-iteration already shipped it; only the kernel runs.
                 transfer_time = 0.0
             else:
                 outcome = self.engine.transfer(partition, in_partition)

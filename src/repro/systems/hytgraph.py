@@ -38,6 +38,8 @@ class HyTGraphSystem(GraphSystem):
         num_partitions: int | None = None,
         partition_bytes: int | None = None,
         max_iterations: int = 10_000,
+        cache_policy: str = "static-prefix",
+        cache_budget: int | None = None,
     ):
         super().__init__(
             graph,
@@ -45,6 +47,8 @@ class HyTGraphSystem(GraphSystem):
             num_partitions=num_partitions,
             partition_bytes=partition_bytes,
             max_iterations=max_iterations,
+            cache_policy=cache_policy,
+            cache_budget=cache_budget,
         )
         self.options = options or HyTGraphOptions()
         if num_partitions is not None:
@@ -52,6 +56,13 @@ class HyTGraphSystem(GraphSystem):
         if partition_bytes is not None:
             self.options.partition_bytes = partition_bytes
         self.options.max_iterations = max_iterations
+        # The engine builds the runtime, so the cache knobs ride in
+        # through its options (explicit arguments win over an options
+        # object carrying the defaults).
+        if cache_policy != "static-prefix":
+            self.options.cache_policy = cache_policy
+        if cache_budget is not None:
+            self.options.cache_budget = cache_budget
         self.engine = HyTGraphEngine(graph, config=self.config, options=self.options)
         # Execute on the engine's runtime, built over the hub-sorted
         # graph's partitioning (builds_runtime=False skips the base build).

@@ -20,7 +20,11 @@ copies on the shared host PCIe — then each device runs its multi-round
 asynchronous processing over its own loaded subgraph, and the iteration
 ends with the boundary-delta exchange.  Compacted subgraphs are
 query-specific (they pack exactly the query's active adjacency lists),
-so batches gain co-scheduling overlap but no transfer dedup.
+so batches gain co-scheduling overlap but no transfer dedup — and for
+the same reason the device-memory cache subsystem (:mod:`repro.cache`)
+has nothing to keep for Subway: a compacted subgraph is useless to any
+other iteration or query, so its ``cache_hit_bytes`` stay zero under
+every policy.
 """
 
 from __future__ import annotations

@@ -7,77 +7,51 @@ A resident partition is shipped once (an explicit whole-partition copy
 the first time it carries active edges) and is free afterwards — its
 kernel reads local device memory instead of crossing PCIe again.
 
-The single-device engines deliberately have **no** residency, exactly as
-in the paper: its testbed graphs oversubscribe one GPU's memory, so the
-partitions churn and caching buys nothing.  Sharding changes that — the
-aggregate capacity grows with the device count while each shard shrinks,
-which is precisely the regime where residency pays.
+The single-device engines deliberately have **no** residency under the
+default policy, exactly as in the paper: its testbed graphs
+oversubscribe one GPU's memory, so the partitions churn and static
+caching buys nothing.  Sharding changes that — the aggregate capacity
+grows with the device count while each shard shrinks, which is
+precisely the regime where residency pays.
 
-The policy is static and deterministic: each device marks partitions
-resident in ascending index order until its edge-cache budget (the
-configured per-device memory) is spent.  Hub sorting makes this the
-right prefix to pin — after reordering, the leading partitions hold the
-hub vertices that stay active across iterations.
+Historically this module implemented the static policy directly; it is
+now the ``static-prefix`` policy of the device-memory cache subsystem
+(:mod:`repro.cache`), and :class:`ShardResidency` remains as the
+stable facade over a :class:`~repro.cache.manager.CacheManager` pinned
+to that policy: each device marks partitions resident in ascending
+index order until its edge-cache budget (the configured per-device
+memory) is spent, bitwise-identical to the pre-cache behaviour.  Hub
+sorting makes this the right prefix to pin — after reordering, the
+leading partitions hold the hub vertices that stay active across
+iterations.  The adaptive policies (``lru``, ``frontier-aware``) live
+in :mod:`repro.cache.policy` and are selected through the execution
+context's ``cache_policy``.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.cache.manager import CacheManager
 from repro.graph.partition import Partitioning, ShardedPartitioning
 from repro.sim.config import HardwareConfig
 
 __all__ = ["ShardResidency"]
 
 
-class ShardResidency:
-    """Static resident-partition sets, one per device."""
+class ShardResidency(CacheManager):
+    """Static resident-partition sets, one per device.
+
+    A :class:`~repro.cache.manager.CacheManager` fixed to the
+    ``static-prefix`` eviction policy; see the module docstring for the
+    semantics and :mod:`repro.cache` for the adaptive alternatives.
+    """
 
     def __init__(
         self,
         partitioning: Partitioning,
         sharding: ShardedPartitioning,
         config: HardwareConfig,
+        budget_bytes: int | None = None,
     ):
-        self.partitioning = partitioning
-        self.sharding = sharding
-        num_partitions = partitioning.num_partitions
-        #: resident[p] — partition ``p`` fits in its owning device's memory.
-        self.resident = np.zeros(num_partitions, dtype=bool)
-        #: loaded[p] — the one-off residency copy has been charged already.
-        self.loaded = np.zeros(num_partitions, dtype=bool)
-        for shard in sharding:
-            budget = config.gpu_memory_bytes
-            for index in shard.partition_indices():
-                edge_bytes = partitioning[index].edge_bytes
-                if edge_bytes > budget:
-                    break
-                self.resident[index] = True
-                budget -= edge_bytes
-
-    @property
-    def num_resident(self) -> int:
-        """Total partitions resident across all devices."""
-        return int(self.resident.sum())
-
-    def reset(self) -> None:
-        """Forget what has been loaded (between runs)."""
-        self.loaded[:] = False
-
-    def split_billable(self, partition_indices: list[int]) -> tuple[list[int], list[int]]:
-        """Split a task's partitions into (billable, already-resident).
-
-        Billable partitions must be priced by the transfer engine this
-        iteration: every non-resident partition, plus resident partitions
-        on their first touch (which are marked loaded as a side effect).
-        """
-        billable: list[int] = []
-        free: list[int] = []
-        for index in partition_indices:
-            if self.resident[index] and self.loaded[index]:
-                free.append(index)
-            else:
-                if self.resident[index]:
-                    self.loaded[index] = True
-                billable.append(index)
-        return billable, free
+        super().__init__(
+            partitioning, sharding, config, policy="static-prefix", budget_bytes=budget_bytes
+        )

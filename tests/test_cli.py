@@ -119,3 +119,62 @@ class TestBatchCommand:
     def test_run_refuses_multi_device_incapable_system(self, system):
         with pytest.raises(SystemExit, match="no multi-device execution path"):
             main(["run", "--system", system, "--devices", "2", "--scale", "0.05"])
+
+
+class TestCacheOptions:
+    def test_cache_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.cache_policy == "static-prefix"
+        assert args.cache_budget is None
+
+    def test_invalid_cache_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--cache-policy", "clock"])
+
+    def test_parse_byte_size_suffixes(self):
+        from repro.cli import parse_byte_size
+
+        assert parse_byte_size("1024") == 1024
+        assert parse_byte_size("64K") == 64 * 1024
+        assert parse_byte_size("2m") == 2 * 1024 * 1024
+        assert parse_byte_size("1G") == 1024**3
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_byte_size("lots")
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_byte_size("-1")
+
+    def test_run_with_adaptive_cache_reports_stats(self, capsys):
+        code = main(["run", "--dataset", "SK", "--algorithm", "sssp", "--scale", "0.05",
+                     "--system", "exptm-f", "--cache-policy", "frontier-aware"])
+        assert code == 0
+        assert "device cache (frontier-aware)" in capsys.readouterr().out
+
+    def test_batch_seed_is_reproducible(self, capsys):
+        argv = ["batch", "--dataset", "SK", "--algorithm", "sssp", "--scale", "0.05",
+                "--num-queries", "3", "--seed", "9", "--no-baseline"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_batch_with_cache_policy_and_budget(self, capsys):
+        code = main(["batch", "--dataset", "SK", "--algorithm", "sssp", "--scale", "0.05",
+                     "--num-queries", "2", "--cache-policy", "lru", "--cache-budget", "64K",
+                     "--no-baseline"])
+        assert code == 0
+        assert "device cache (lru)" in capsys.readouterr().out
+
+    def test_ineffective_cache_budget_rejected(self):
+        with pytest.raises(SystemExit, match="cache-budget has no effect"):
+            main(["run", "--dataset", "SK", "--scale", "0.05", "--cache-budget", "64K"])
+
+    def test_cache_budget_allowed_with_adaptive_policy_or_devices(self, capsys):
+        code = main(["run", "--dataset", "SK", "--algorithm", "bfs", "--scale", "0.05",
+                     "--system", "exptm-f", "--cache-policy", "lru", "--cache-budget", "64K"])
+        assert code == 0
+        assert "device cache (lru)" in capsys.readouterr().out
+        code = main(["run", "--dataset", "SK", "--algorithm", "bfs", "--scale", "0.05",
+                     "--devices", "2", "--cache-budget", "64K"])
+        assert code == 0

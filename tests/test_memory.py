@@ -119,3 +119,58 @@ class TestPageCache:
     def test_negative_capacity_rejected(self):
         with pytest.raises(ValueError):
             PageCache(-1)
+
+
+class TestShardResidencyBoundaries:
+    """Budget edge cases of the static-prefix residency."""
+
+    def _residency(self, budget_divisor=None, budget=None):
+        from repro.graph.generators import rmat_graph
+        from repro.graph.partition import ShardedPartitioning, partition_by_count
+        from repro.sim.config import HardwareConfig
+        from repro.transfer.residency import ShardResidency
+
+        graph = rmat_graph(240, 1600, seed=4, name="rmat-res")
+        partitioning = partition_by_count(graph, 8)
+        sharding = ShardedPartitioning(partitioning, 2)
+        if budget is None:
+            budget = (
+                graph.edge_data_bytes // budget_divisor if budget_divisor else graph.edge_data_bytes
+            )
+        config = HardwareConfig(gpu_memory_bytes=budget, num_devices=2)
+        return ShardResidency(partitioning, sharding, config), partitioning
+
+    def test_zero_budget_pins_nothing(self):
+        residency, _ = self._residency(budget=0)
+        assert residency.num_resident == 0
+        billable, free = residency.split_billable([0, 1])
+        assert billable == [0, 1] and free == []
+
+    def test_budget_smaller_than_one_partition_pins_nothing(self):
+        _, partitioning = self._residency()
+        smallest = min(partitioning[p].edge_bytes for p in range(partitioning.num_partitions))
+        residency, _ = self._residency(budget=smallest - 1)
+        assert residency.num_resident == 0
+
+    def test_budget_larger_than_whole_shard_pins_everything(self):
+        _, partitioning = self._residency()
+        total = sum(partition.edge_bytes for partition in partitioning)
+        residency, partitioning = self._residency(budget=10 * total)
+        assert residency.num_resident == partitioning.num_partitions
+        # Everything is billed exactly once, then free.
+        indices = list(range(partitioning.num_partitions))
+        first, _ = residency.split_billable(indices)
+        assert first == indices
+        again, free = residency.split_billable(indices)
+        assert again == [] and free == indices
+
+    def test_prefix_stops_at_first_overflowing_partition(self):
+        residency, partitioning = self._residency(budget_divisor=3)
+        # Residency is a per-shard prefix: within each shard, once a
+        # partition is skipped nothing after it is pinned.
+        for device in range(2):
+            shard_indices = list(residency.sharding[device].partition_indices())
+            flags = [bool(residency.resident[i]) for i in shard_indices]
+            if False in flags:
+                first_gap = flags.index(False)
+                assert not any(flags[first_gap:])

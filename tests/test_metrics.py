@@ -133,3 +133,38 @@ class TestTables:
     def test_normalize_speedups_zero_entry(self):
         speedups = normalize_speedups({"a": 1.0, "b": 0.0}, baseline="a")
         assert speedups["b"] == float("inf")
+
+
+class TestDegenerateBatchMetrics:
+    """Zero/near-zero baselines must not produce inf/nan (tiny graphs)."""
+
+    def _batch(self, makespan):
+        from repro.metrics.results import BatchResult
+
+        return BatchResult(system="X", algorithm="PR", graph_name="g", makespan=makespan)
+
+    def test_queries_per_second_zero_makespan(self):
+        assert self._batch(0.0).queries_per_second == 0.0
+        assert self._batch(1e-15).queries_per_second == 0.0
+
+    def test_amortization_vs_zero_baseline_is_finite(self):
+        import math
+
+        stats = self._batch(0.0).amortization_vs([])
+        assert stats["degenerate"] is True
+        assert math.isfinite(stats["speedup"]) and stats["speedup"] == 1.0
+        assert stats["sequential_time"] == 0.0
+
+    def test_amortization_vs_zero_sequential_time(self):
+        import math
+
+        zero_run = RunResult(system="X", algorithm="PR", graph_name="g")
+        stats = self._batch(2.0).amortization_vs([zero_run])
+        assert stats["degenerate"] is True
+        assert math.isfinite(stats["speedup"])
+
+    def test_amortization_vs_normal_case_unchanged(self):
+        result = make_result()
+        stats = self._batch(1.5).amortization_vs([result])
+        assert stats["degenerate"] is False
+        assert stats["speedup"] == pytest.approx(result.total_time / 1.5)

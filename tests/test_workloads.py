@@ -135,3 +135,29 @@ class TestBatchWorkloads:
         assert batch.num_queries == 3
         for alone, batched in zip(sequential, batch.results):
             np.testing.assert_array_equal(alone.values, batched.values)
+
+    def test_batch_sources_seeded_sampling_is_deterministic(self):
+        workload = build_workload("SK", "sssp", scale=0.05)
+        first = batch_sources(workload.graph, 6, seed=42)
+        second = batch_sources(workload.graph, 6, seed=42)
+        other = batch_sources(workload.graph, 6, seed=43)
+        assert first == second
+        assert len(set(first)) == 6
+        assert first != other  # different seeds sample different sources
+        # Sampled sources are usable traversal starts.
+        assert all(workload.graph.out_degrees[s] > 0 for s in first)
+
+    def test_make_queries_counts_and_seeds(self):
+        workload = build_workload("SK", "sssp", scale=0.05)
+        queries = workload.make_queries(count=4, seed=7)
+        assert len(queries) == 4
+        assert [s for _, s in queries] == batch_sources(workload.graph, 4, seed=7)
+        explicit = workload.make_queries([1, 2])
+        assert [s for _, s in explicit] == [1, 2]
+        with pytest.raises(ValueError, match="sources or a count"):
+            workload.make_queries()
+
+    def test_make_queries_sourceless_algorithm(self):
+        workload = build_workload("SK", "pagerank", scale=0.05)
+        queries = workload.make_queries(count=3, seed=5)
+        assert [s for _, s in queries] == [None, None, None]
