@@ -27,6 +27,11 @@ seed ("pre kernel-layer") implementation:
   wavefront batch, also a deterministic simulated speedup; a drop means
   the cache subsystem lost reuse (``bench_cache_policies.py`` is the
   full version).
+* **Service scheduling** — priority vs FIFO p95 point-lookup latency on
+  a mixed INTERACTIVE/BULK trace through
+  :class:`~repro.service.GraphService`; deterministic simulated
+  latencies, so a drop means the priority scheduler stopped protecting
+  the high class (``bench_service_scheduling.py`` is the full version).
 
 Results are written to ``BENCH_perf.json`` in the repository root so
 future PRs can track the perf trajectory.
@@ -615,6 +620,52 @@ def run_cache_bench(rows, cols, batch_size, devices=2):
 
 
 # ----------------------------------------------------------------------
+# Service scheduling (priority vs FIFO p95 point-lookup latency)
+# ----------------------------------------------------------------------
+
+
+def run_service_bench(num_vertices, num_edges, point_lookups, analytical):
+    """Priority-vs-FIFO p95 point-lookup latency ratio, as a speedup.
+
+    The measured quantity is deterministic simulated latency, so the
+    regression gate holds it to the shared tolerance: a drop means the
+    priority scheduler stopped protecting INTERACTIVE requests from BULK
+    analytics (lost task ordering, broken latency accounting), not that
+    CI was slow.  ``benchmarks/bench_service_scheduling.py`` is the full
+    version.
+    """
+    from repro.service import GraphService, Priority, ServiceConfig, synthetic_mixed_trace
+
+    graph = rmat_graph(num_vertices, num_edges, seed=5, weighted=True, name="rmat-serve")
+    config = HardwareConfig(gpu_memory_bytes=graph.edge_data_bytes // 2, pcie_bandwidth=1e9)
+    requests = synthetic_mixed_trace(graph, point_lookups, analytical, seed=11)
+
+    results = {}
+    p95 = {}
+    for scheduling in ("fifo", "priority"):
+        service = GraphService(
+            ServiceConfig(system="hytgraph", scheduling=scheduling),
+            system=HyTGraphSystem(graph, config=config),
+        )
+        service.submit_many(requests)
+        service.drain()
+        stats = service.stats()
+        p95[scheduling] = stats.latency_percentile(Priority.INTERACTIVE, 95)
+        results[scheduling] = {
+            "point_p95_s": p95[scheduling],
+            "bulk_p95_s": stats.latency_percentile(Priority.BULK, 95),
+            "makespan_s": stats.makespan_s,
+        }
+    speedup = p95["fifo"] / p95["priority"]
+    results["speedup"] = speedup
+    print(
+        "  HyTGraph  fifo p95 %8.6fs  priority p95 %8.6fs  speedup %5.2fx"
+        % (p95["fifo"], p95["priority"], speedup)
+    )
+    return {"HyTGraph": results}
+
+
+# ----------------------------------------------------------------------
 # Perf-regression gate
 # ----------------------------------------------------------------------
 
@@ -699,6 +750,25 @@ def check_regressions(current, reference, tolerance):
                 "%s: cache-policy speedup %.2fx fell below %.2fx (reference %.2fx - %.0f%%)"
                 % (system_name, entry["speedup"], floor, ref_entry["speedup"], tolerance * 100)
             )
+
+    # Service-scheduling p95 speedups: deterministic simulated latency
+    # ratios; a drop means priority scheduling lost its latency shield.
+    for system_name in sorted(current.get("service", {})):
+        entry = current["service"][system_name]
+        ref_entry = reference.get("service", {}).get(system_name)
+        if not ref_entry or not entry.get("speedup") or not ref_entry.get("speedup"):
+            continue
+        floor = ref_entry["speedup"] * (1.0 - tolerance)
+        ok = entry["speedup"] >= floor
+        print(
+            "  %-9s service p95 speedup %.2fx (reference %.2fx, floor %.2fx) %s"
+            % (system_name, entry["speedup"], ref_entry["speedup"], floor, "ok" if ok else "REGRESSION")
+        )
+        if not ok:
+            failures.append(
+                "%s: service p95 speedup %.2fx fell below %.2fx (reference %.2fx - %.0f%%)"
+                % (system_name, entry["speedup"], floor, ref_entry["speedup"], tolerance * 100)
+            )
     return failures
 
 
@@ -769,6 +839,16 @@ def main(argv=None):
     print("== cache policies (grid %dx%d, K = %d, 2 devices) ==" % (cache_rows, cache_cols, cache_batch))
     cache = run_cache_bench(cache_rows, cache_cols, cache_batch)
 
+    if args.smoke:
+        serve_vertices, serve_edges, serve_lookups, serve_analytical = 1_000, 8_000, 6, 4
+    else:
+        serve_vertices, serve_edges, serve_lookups, serve_analytical = 2_000, 20_000, 12, 8
+    print(
+        "== service scheduling (|V| = %d, %d lookups + %d analytical) =="
+        % (serve_vertices, serve_lookups, serve_analytical)
+    )
+    service = run_service_bench(serve_vertices, serve_edges, serve_lookups, serve_analytical)
+
     payload = {
         "meta": {
             "harness": "bench_perf_hotpaths",
@@ -784,6 +864,7 @@ def main(argv=None):
         "end_to_end": end_to_end,
         "batch": batch,
         "cache": cache,
+        "service": service,
     }
     args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print("wrote %s" % args.out)

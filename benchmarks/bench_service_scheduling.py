@@ -1,0 +1,194 @@
+"""Multi-tenant service scheduling: priority vs FIFO on a mixed trace.
+
+Serves the starvation scenario the priority scheduler exists for: a few
+heavy BULK analytical queries (PageRank — full frontier, every partition
+in flight, tens of iterations) are already in the queue when a burst of
+INTERACTIVE point lookups (seeded BFS sources — one partition in flight,
+a handful of iterations) arrives.  The same trace is served twice through
+:class:`repro.service.GraphService` on identical transfer-bound
+platforms, once with ``scheduling="fifo"`` (the historical co-schedule:
+merged task lists in submission order, so every lookup's tasks queue
+behind the analytics' transfers) and once with ``scheduling="priority"``
+(merged task lists ordered by priority class).
+
+Reported per system:
+
+* p50/p95/max point-lookup latency under both disciplines and the p95
+  ratio (the headline number — the acceptance bar asserted here is
+  **>= 1.5x** for HyTGraph);
+* BULK-class p95 under both (priority scheduling barely moves it: the
+  analytics end last either way);
+* total makespan under both (throughput is preserved — ordering moves
+  latency between classes, not work).
+
+Everything is simulated time, so the numbers are deterministic; a
+smaller copy of this trace runs inside ``bench_perf_hotpaths.py`` under
+the ``--check-against`` regression gate.
+
+Usage::
+
+    python benchmarks/bench_service_scheduling.py
+    python benchmarks/bench_service_scheduling.py --point-lookups 24 --analytical 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.generators import rmat_graph
+from repro.metrics.tables import format_table
+from repro.service import GraphService, Priority, ServiceConfig, synthetic_mixed_trace
+from repro.sim.config import HardwareConfig
+from repro.systems.exptm_filter import ExpTMFilterSystem
+from repro.systems.hytgraph import HyTGraphSystem
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+SYSTEMS = [HyTGraphSystem, ExpTMFilterSystem]
+
+#: The acceptance bar: priority scheduling must cut HyTGraph's p95
+#: point-lookup latency by at least this factor vs FIFO.
+P95_SPEEDUP_FLOOR = 1.5
+
+
+def build_platform(args):
+    graph = rmat_graph(args.vertices, args.edges, seed=5, weighted=True, name="rmat-serve")
+    config = HardwareConfig(
+        gpu_memory_bytes=graph.edge_data_bytes // 2,
+        pcie_bandwidth=args.pcie_bandwidth,
+    ).with_devices(args.devices)
+    return graph, config
+
+
+def serve_trace(system_cls, graph, config, requests, scheduling):
+    system = system_cls(graph, config=config)
+    service = GraphService(
+        ServiceConfig(system=_registry_name(system_cls), scheduling=scheduling),
+        system=system,
+    )
+    handles = service.submit_many(requests)
+    service.drain()
+    return service, handles
+
+
+def _registry_name(system_cls):
+    from repro.systems import SYSTEMS as REGISTRY
+
+    for name, cls in REGISTRY.items():
+        if cls is system_cls:
+            return name
+    raise KeyError(system_cls)
+
+
+def run_cell(system_cls, graph, config, requests):
+    """One system served under both disciplines; returns the comparison."""
+    cell = {}
+    values = {}
+    for scheduling in ("fifo", "priority"):
+        service, handles = serve_trace(system_cls, graph, config, requests, scheduling)
+        stats = service.stats()
+        cell[scheduling] = {
+            "point_p50_s": stats.latency_percentile(Priority.INTERACTIVE, 50),
+            "point_p95_s": stats.latency_percentile(Priority.INTERACTIVE, 95),
+            "point_max_s": max(stats.class_latencies(Priority.INTERACTIVE)),
+            "bulk_p95_s": stats.latency_percentile(Priority.BULK, 95),
+            "makespan_s": stats.makespan_s,
+        }
+        values[scheduling] = [np.asarray(handle.result().values) for handle in handles]
+    for fifo_values, priority_values in zip(values["fifo"], values["priority"]):
+        if not np.array_equal(fifo_values, priority_values):
+            raise AssertionError(
+                "%s: priority scheduling changed query values" % system_cls.name
+            )
+    cell["p95_speedup"] = cell["fifo"]["point_p95_s"] / cell["priority"]["point_p95_s"]
+    cell["makespan_ratio"] = cell["priority"]["makespan_s"] / cell["fifo"]["makespan_s"]
+    return cell
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--vertices", type=int, default=2000)
+    parser.add_argument("--edges", type=int, default=20000)
+    parser.add_argument("--devices", type=int, default=1,
+                        help="device count (1 keeps every transfer on the PCIe "
+                             "contention path; >1 adds shard residency)")
+    parser.add_argument("--pcie-bandwidth", type=float, default=1e9,
+                        help="throttled host-GPU bandwidth (transfer-bound regime)")
+    parser.add_argument("--point-lookups", type=int, default=12,
+                        help="INTERACTIVE BFS lookups in the trace")
+    parser.add_argument("--analytical", type=int, default=8,
+                        help="BULK PageRank queries in the trace")
+    parser.add_argument("--seed", type=int, default=11, help="lookup-source sampling seed")
+    parser.add_argument("--out", type=Path, default=RESULTS_DIR / "service_scheduling.json")
+    args = parser.parse_args(argv)
+    if args.point_lookups <= 0:
+        parser.error("--point-lookups must be positive (the benchmark measures "
+                     "point-lookup latency percentiles)")
+
+    graph, config = build_platform(args)
+    requests = synthetic_mixed_trace(graph, args.point_lookups, args.analytical, args.seed)
+
+    cells = {}
+    rows = []
+    for system_cls in SYSTEMS:
+        cell = run_cell(system_cls, graph, config, requests)
+        cells[system_cls.name] = cell
+        rows.append(
+            {
+                "system": system_cls.name,
+                "fifo p95 (s)": round(cell["fifo"]["point_p95_s"], 6),
+                "priority p95 (s)": round(cell["priority"]["point_p95_s"], 6),
+                "p95 speedup": round(cell["p95_speedup"], 2),
+                "bulk p95 ratio": round(
+                    cell["priority"]["bulk_p95_s"] / cell["fifo"]["bulk_p95_s"], 3
+                ),
+                "makespan ratio": round(cell["makespan_ratio"], 3),
+            }
+        )
+
+    title = (
+        "Point-lookup latency, priority vs FIFO scheduling "
+        "(%d lookups + %d analytical, %d device(s), transfer-bound)"
+        % (args.point_lookups, args.analytical, args.devices)
+    )
+    report = format_table(rows, title=title)
+    print(report)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "service_scheduling.txt").write_text(report)
+    payload = {
+        "meta": {
+            "harness": "bench_service_scheduling",
+            "vertices": args.vertices,
+            "edges": args.edges,
+            "devices": args.devices,
+            "pcie_bandwidth": args.pcie_bandwidth,
+            "point_lookups": args.point_lookups,
+            "analytical": args.analytical,
+            "seed": args.seed,
+        },
+        "cells": cells,
+    }
+    args.out.parent.mkdir(exist_ok=True)
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print("wrote %s" % args.out)
+
+    speedup = cells["HyTGraph"]["p95_speedup"]
+    if speedup < P95_SPEEDUP_FLOOR:
+        raise SystemExit(
+            "HyTGraph p95 point-lookup speedup %.2fx fell below the %.1fx bar"
+            % (speedup, P95_SPEEDUP_FLOOR)
+        )
+    print(
+        "acceptance: HyTGraph priority scheduling cuts p95 point-lookup latency "
+        "%.2fx >= %.1fx vs FIFO" % (speedup, P95_SPEEDUP_FLOOR)
+    )
+    return payload
+
+
+if __name__ == "__main__":
+    main()

@@ -97,6 +97,11 @@ class VertexProgram(ABC):
     accumulative: bool = False
     #: Whether the algorithm needs a source vertex (SSSP/BFS/PHP do).
     needs_source: bool = False
+    #: Whether the algorithm's semantics assume a symmetric graph (CC
+    #: computes *weakly* connected components, so the evaluation grid
+    #: symmetrizes its graph; serving entry points refuse a directed one
+    #: instead of silently returning different labels).
+    needs_symmetric: bool = False
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -27,6 +27,7 @@ class ConnectedComponents(VertexProgram):
     name = "CC"
     needs_weights = False
     needs_source = False
+    needs_symmetric = True
 
     def create_state(self, graph: CSRGraph, source: int | None = None) -> ProgramState:
         labels = np.arange(graph.num_vertices, dtype=np.float64)

@@ -10,6 +10,7 @@ memory, the other graphs do not — Section VII-B2).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -20,9 +21,8 @@ from repro.algorithms.base import VertexProgram
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import DATASETS, dataset_names, load_dataset
 from repro.metrics.results import BatchResult, RunResult
-from repro.runtime.batch import QueryBatchRunner
 from repro.sim.config import GPU_PRESETS, HardwareConfig, gtx_2080ti
-from repro.systems import SYSTEMS, make_system
+from repro.systems import SYSTEMS
 
 __all__ = [
     "PAPER_EDGE_COUNTS",
@@ -55,6 +55,25 @@ DEFAULT_SCALE = 1.0
 # systems lose part of the 11 GB to vertex data and runtime buffers.
 VERTEX_FOOTPRINT_BYTES = 48
 
+#: Entry points that already warned this process (one warning each, so a
+#: benchmark sweep does not drown in repeats).  Tests clear this set to
+#: assert the message.
+_DEPRECATION_WARNED: set[str] = set()
+
+
+def _warn_deprecated(entry_point: str) -> None:
+    """Emit one DeprecationWarning per entry point pointing at the service."""
+    if entry_point in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(entry_point)
+    warnings.warn(
+        "%s is deprecated; submit a repro.service.QueryRequest to a "
+        "repro.service.GraphService instead (it serves the same workload with "
+        "priorities, deadlines and admission control)" % entry_point,
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
 
 @dataclass
 class Workload:
@@ -68,10 +87,24 @@ class Workload:
     config: HardwareConfig
 
     def run(self, system_name: str, **system_kwargs) -> RunResult:
-        """Run this workload on the named system."""
-        self.check_multi_device(system_name)
-        system = make_system(system_name, self.graph, config=self.config, **system_kwargs)
-        return system.run(self.program, source=self.source)
+        """Run this workload on the named system.
+
+        .. deprecated::
+            Thin adapter over :class:`repro.service.GraphService` — a
+            one-request service over this workload's graph and config.
+            New code should build the service directly and submit typed
+            requests.
+        """
+        _warn_deprecated("Workload.run")
+        service = self._service(system_name, system_kwargs)
+        handle = service.submit_program(self.program, self.source)
+        return handle.result()
+
+    def _service(self, system_name: str, system_kwargs: dict):
+        """A fresh one-shot service over this workload (adapter plumbing)."""
+        from repro.service import GraphService
+
+        return GraphService.for_workload(self, system_name, **system_kwargs)
 
     def check_multi_device(self, system_name: str) -> None:
         """Refuse multi-device configs on systems without a sharded path.
@@ -112,8 +145,14 @@ class Workload:
         ``seed``) sample them through :func:`batch_sources` — seeded
         sampling makes batch benchmarks reproducible run-to-run while
         still exercising divergent working sets.  Sourceless algorithms
-        get ``count`` copies of the ``None`` source.
+        get ``count`` copies of the ``None`` source.  The two forms are
+        exclusive: combining explicit ``sources`` with ``count``/``seed``
+        raises instead of silently ignoring the sampling arguments.
         """
+        if sources is not None and (count is not None or seed is not None):
+            raise ValueError(
+                "make_queries takes explicit sources or count/seed sampling, not both"
+            )
         if sources is None:
             if count is None:
                 raise ValueError("make_queries needs explicit sources or a count")
@@ -126,10 +165,20 @@ class Workload:
     def run_batch(
         self, system_name: str, sources: Sequence[int | None], **system_kwargs
     ) -> BatchResult:
-        """Serve ``sources`` as one concurrent batch on the named system."""
-        self.check_multi_device(system_name)
-        system = make_system(system_name, self.graph, config=self.config, **system_kwargs)
-        return QueryBatchRunner(system).run(self.make_queries(sources))
+        """Serve ``sources`` as one concurrent batch on the named system.
+
+        .. deprecated::
+            Thin adapter over :class:`repro.service.GraphService`: every
+            source is submitted at the same priority and the queue is
+            drained as one wave, which reproduces the historical FIFO
+            co-schedule bitwise.
+        """
+        _warn_deprecated("Workload.run_batch")
+        service = self._service(system_name, system_kwargs)
+        for program, source in self.make_queries(sources):
+            service.submit_program(program, source)
+        (batch,) = service.drain()
+        return batch
 
     def run_sequential(
         self, system_name: str, sources: Sequence[int | None], **system_kwargs
@@ -139,10 +188,14 @@ class Workload:
         One system instance, each query run cold (``run`` resets the warm
         transfer state), which is what a serving layer without batching
         would do.
+
+        .. deprecated::
+            Thin adapter over
+            :meth:`repro.service.GraphService.baseline_sequential`.
         """
-        self.check_multi_device(system_name)
-        system = make_system(system_name, self.graph, config=self.config, **system_kwargs)
-        return [system.run(program, source=source) for program, source in self.make_queries(sources)]
+        _warn_deprecated("Workload.run_sequential")
+        service = self._service(system_name, system_kwargs)
+        return service.baseline_sequential(self.make_queries(sources))
 
 
 def paper_datasets() -> list[str]:

@@ -1,12 +1,21 @@
 """Command-line interface.
 
-Four subcommands cover the workflows a user of the original HyTGraph
+Five subcommands cover the workflows a user of the original HyTGraph
 binaries would expect, plus the serving layer on top:
 
 ``repro-graph info``      — describe a dataset stand-in (Table IV style row);
 ``repro-graph run``       — run one algorithm on one dataset with one system;
 ``repro-graph compare``   — run one workload on several systems side by side;
-``repro-graph batch``     — serve a batch of concurrent queries on one system.
+``repro-graph batch``     — serve a batch of concurrent queries on one system;
+``repro-graph serve``     — serve a mixed-priority request trace through
+                            :class:`repro.service.GraphService` and report
+                            per-class latency percentiles, SLA attainment
+                            and admission decisions.
+
+``run``, ``compare`` and ``batch`` are thin adapters over the same
+:class:`~repro.service.GraphService` the ``serve`` command exposes in
+full — one warmed execution session per (graph, config), typed query
+requests underneath.
 
 Examples
 --------
@@ -16,11 +25,15 @@ Examples
     repro-graph run --dataset SK --algorithm sssp --system hytgraph --scale 0.5
     repro-graph compare --dataset UK --algorithm pagerank --systems subway emogi hytgraph
     repro-graph batch --dataset UK --algorithm sssp --num-queries 16 --devices 2
+    repro-graph serve --dataset UK --system hytgraph --point-lookups 8 --analytical 2
+    repro-graph serve --dataset SK --trace trace.json --budget 64M --admission queue
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+from pathlib import Path
 from typing import Sequence
 
 from repro.algorithms import ALGORITHMS
@@ -29,6 +42,15 @@ from repro.cache import CACHE_POLICIES
 from repro.graph.datasets import dataset_names, load_dataset
 from repro.graph.properties import summarize
 from repro.metrics.tables import format_table
+from repro.service import (
+    GraphService,
+    Priority,
+    QueryRequest,
+    RequestStatus,
+    ServiceConfig,
+    synthetic_mixed_trace,
+)
+from repro.service.config import ADMISSION_POLICIES, SCHEDULING_POLICIES
 from repro.sim.config import INTERCONNECT_PRESETS
 from repro.systems import SYSTEMS
 
@@ -131,6 +153,37 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--no-baseline", action="store_true",
                        help="skip the sequential (unbatched) baseline runs")
     _add_cache_arguments(batch)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a mixed-priority request trace through GraphService"
+    )
+    serve.add_argument("--dataset", default="SK")
+    serve.add_argument("--system", default="hytgraph", choices=sorted(SYSTEMS))
+    serve.add_argument("--scale", type=float, default=0.5)
+    serve.add_argument("--gpu", default=None, help="GPU preset name")
+    serve.add_argument("--devices", type=int, default=1,
+                       help="number of GPUs (>1 enables the sharded multi-GPU layer)")
+    serve.add_argument("--interconnect", default=None, choices=sorted(INTERCONNECT_PRESETS),
+                       help="inter-GPU link preset (default: nvlink)")
+    serve.add_argument("--trace", type=Path, default=None, metavar="TRACE.json",
+                       help="JSON request trace: a list of objects with keys "
+                            "algorithm, source (optional), priority (optional), "
+                            "deadline_s (optional), label (optional)")
+    serve.add_argument("--point-lookups", type=int, default=8,
+                       help="synthetic trace: interactive BFS point lookups "
+                            "(used when --trace is not given)")
+    serve.add_argument("--analytical", type=int, default=2,
+                       help="synthetic trace: bulk PageRank analytical queries")
+    serve.add_argument("--seed", type=int, default=17,
+                       help="seed for the synthetic trace's lookup sources")
+    serve.add_argument("--scheduling", default="priority", choices=SCHEDULING_POLICIES,
+                       help="wave scheduling discipline (fifo = historical co-schedule)")
+    serve.add_argument("--budget", type=parse_byte_size, default=None, metavar="BYTES",
+                       help="admission budget: estimated bytes in flight per wave, "
+                            "K/M/G suffixes allowed (default: unlimited)")
+    serve.add_argument("--admission", default="queue", choices=ADMISSION_POLICIES,
+                       help="what happens to requests that do not fit the budget")
+    _add_cache_arguments(serve)
     return parser
 
 
@@ -181,13 +234,30 @@ def _cache_kwargs(args: argparse.Namespace) -> dict:
     return kwargs
 
 
+def _service_for(args: argparse.Namespace, system_name: str, workload) -> GraphService:
+    """One GraphService over the workload's graph/config (adapter plumbing)."""
+    config = ServiceConfig(
+        system=system_name,
+        dataset=args.dataset,
+        scale=args.scale,
+        gpu=args.gpu,
+        devices=args.devices,
+        interconnect=getattr(args, "interconnect", None),
+        scheduling=getattr(args, "scheduling", "priority"),
+        admission_budget_bytes=getattr(args, "budget", None),
+        admission_policy=getattr(args, "admission", "queue"),
+    )
+    return GraphService.for_workload(workload, system_name, config=config, **_cache_kwargs(args))
+
+
 def _cmd_run(args: argparse.Namespace) -> str:
     _require_multi_device_capable(args.system, args.devices)
     workload = build_workload(
         args.dataset, args.algorithm, scale=args.scale, preset=args.gpu,
         num_devices=args.devices, interconnect=args.interconnect,
     )
-    result = workload.run(args.system, **_cache_kwargs(args))
+    service = _service_for(args, args.system, workload)
+    result = service.run(QueryRequest(algorithm=args.algorithm, source=workload.source))
     lines = [
         "%s / %s on %s (%d vertices, %d edges)" % (
             result.system, result.algorithm, args.dataset,
@@ -257,7 +327,8 @@ def _cmd_compare(args: argparse.Namespace) -> str:
             )
     rows = []
     for system_name in systems:
-        result = workload.run(system_name, **_cache_kwargs(args))
+        service = _service_for(args, system_name, workload)
+        result = service.run(QueryRequest(algorithm=args.algorithm, source=workload.source))
         rows.append(
             {
                 "system": result.system,
@@ -296,7 +367,11 @@ def _cmd_batch(args: argparse.Namespace) -> str:
         if args.sources:
             raise SystemExit("algorithm %r takes no traversal source" % args.algorithm)
         sources = [None] * args.num_queries
-    batch = workload.run_batch(args.system, sources, **_cache_kwargs(args))
+    service = _service_for(args, args.system, workload)
+    queries = workload.make_queries(sources)
+    for program, source in queries:
+        service.submit_program(program, source)
+    (batch,) = service.drain()
 
     rows = [
         {
@@ -330,7 +405,7 @@ def _cmd_batch(args: argparse.Namespace) -> str:
         ),
     ]
     if not args.no_baseline:
-        sequential = workload.run_sequential(args.system, sources, **_cache_kwargs(args))
+        sequential = service.baseline_sequential(queries)
         stats = batch.amortization_vs(sequential)
         lines.append(
             "vs sequential serving: %.2fx speedup (%.6f s -> %.6f s), "
@@ -340,6 +415,91 @@ def _cmd_batch(args: argparse.Namespace) -> str:
             )
         )
     return "\n".join(lines) + "\n"
+
+
+def _load_trace(args: argparse.Namespace, workload) -> list[QueryRequest]:
+    """The request trace to serve: a JSON file or the synthetic mix."""
+    if args.trace is not None:
+        try:
+            entries = json.loads(args.trace.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise SystemExit("cannot read trace %s: %s" % (args.trace, error))
+        if not isinstance(entries, list) or not entries:
+            raise SystemExit("trace %s must be a non-empty JSON list" % args.trace)
+        requests = []
+        for position, entry in enumerate(entries):
+            try:
+                requests.append(
+                    QueryRequest(
+                        algorithm=entry["algorithm"],
+                        source=entry.get("source"),
+                        priority=entry.get("priority", Priority.STANDARD),
+                        deadline_s=entry.get("deadline_s"),
+                        label=entry.get("label"),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as error:
+                raise SystemExit("bad trace entry #%d: %s" % (position, error))
+        return requests
+    # Synthetic mixed trace: cheap interactive point lookups arriving
+    # *after* the heavy bulk analytics — the starvation scenario the
+    # priority scheduler exists for.
+    try:
+        return synthetic_mixed_trace(
+            workload.graph, args.point_lookups, args.analytical, args.seed
+        )
+    except ValueError as error:
+        raise SystemExit("the synthetic trace needs --point-lookups or --analytical > 0 (%s)" % error)
+
+
+def _cmd_serve(args: argparse.Namespace) -> str:
+    _require_multi_device_capable(args.system, args.devices)
+    # The SSSP cell loads the dataset weighted, so one service graph can
+    # serve every algorithm a trace may carry.
+    workload = build_workload(
+        args.dataset, "sssp", scale=args.scale, preset=args.gpu,
+        num_devices=args.devices, interconnect=args.interconnect,
+    )
+    service = _service_for(args, args.system, workload)
+    requests = _load_trace(args, workload)
+    try:
+        handles = service.submit_many(requests)
+    except (KeyError, ValueError) as error:
+        # Malformed requests (unknown algorithm, source on a sourceless
+        # program, CC on the serve command's directed graph) are the
+        # caller's fault: one clean error instead of a traceback.
+        raise SystemExit("cannot serve trace: %s" % error)
+    service.drain()
+    stats = service.stats()
+
+    lines = [
+        "served %d of %d requests on %s / %s (%s scheduling, %d wave(s))" % (
+            stats.completed, stats.submitted, service.system.name, args.dataset,
+            args.scheduling, stats.waves,
+        ),
+        "makespan %.6f s (%.1f queries/s), transfer %.3f MB" % (
+            stats.makespan_s, stats.queries_per_second, stats.total_transfer_bytes / 1e6,
+        ),
+    ]
+    if args.budget is not None:
+        lines.append(
+            "admission: budget %d bytes (%s policy), %d admitted, %d rejected" % (
+                args.budget, args.admission, stats.admitted, stats.rejected,
+            )
+        )
+        for handle in handles:
+            if handle.status is RequestStatus.REJECTED:
+                label = handle.request.label or "request-%d" % handle.request_id
+                lines.append("  rejected %s: %s" % (label, handle.reject_reason))
+    if stats.deadline_met + stats.deadline_missed:
+        lines.append(
+            "deadlines: %d met, %d missed (%.1f%% attainment)" % (
+                stats.deadline_met, stats.deadline_missed, 100.0 * stats.deadline_attainment,
+            )
+        )
+    rows = stats.class_rows()
+    table = format_table(rows, title="Per-class service latency") if rows else ""
+    return "\n".join(lines) + "\n" + table
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -352,6 +512,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         output = _cmd_run(args)
     elif args.command == "batch":
         output = _cmd_batch(args)
+    elif args.command == "serve":
+        output = _cmd_serve(args)
     else:
         output = _cmd_compare(args)
     print(output, end="")

@@ -247,6 +247,12 @@ class BatchResult:
         Batch-wide device-memory cache traffic, measured at the cache
         manager (unlike the per-query sums, this includes evictions at
         super-iteration boundaries, which no single query owns).
+    latencies:
+        Per-query service latency in submission order: each query's
+        accumulated own-task completion times within the merged
+        co-schedules plus its planning overheads (see
+        :mod:`repro.runtime.batch`).  Empty for results built outside
+        the batch runner.
     """
 
     system: str
@@ -259,6 +265,7 @@ class BatchResult:
     cache_hit_bytes: int = 0
     cache_miss_bytes: int = 0
     cache_evicted_bytes: int = 0
+    latencies: list[float] = field(default_factory=list)
     extra: dict[str, object] = field(default_factory=dict)
 
     #: Simulated times at or below this are treated as degenerate when

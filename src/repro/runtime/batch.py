@@ -27,10 +27,31 @@ Query *semantics* are untouched: every query keeps its own program
 state and frontier, so the per-query values are bitwise identical to K
 independent runs (asserted in ``tests/test_batch.py``); sharing only
 affects simulated time and transfer volume.
+
+**Priority scheduling.**  ``run(queries, priorities=...)`` turns the
+runner into the multi-tenant scheduler behind
+:class:`~repro.service.GraphService`: queries plan in ascending priority
+rank (lower = more urgent) and the merged per-device task lists are
+ordered in *strict class order* — every stream task of a higher class is
+scheduled before any task of a lower class (within a class, submission
+order is preserved), so a heavy analytical query cannot starve cheap
+point lookups.  With ``priorities=None`` (or all-equal ranks) the merge
+reduces bitwise to the historical FIFO co-schedule.
+
+**Per-query service latency.**  The runner reports one latency per query
+(:attr:`BatchResult.latencies`): within a super-iteration a query is
+finished when *its own* tasks complete in the merged timeline — iteration
+``i+1`` of a query depends only on its own iteration ``i``, so work of
+lower-priority peers scheduled behind it does not block it — and its
+clock accumulates those completion times plus its own planning
+overheads.  The batch :attr:`BatchResult.makespan` stays the full
+barriered co-schedule, so throughput accounting is unchanged; latencies
+are what the serving layer's priority/SLA machinery consumes.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Sequence
 
 from repro.algorithms.base import VertexProgram
@@ -38,6 +59,13 @@ from repro.metrics.results import BatchResult
 from repro.runtime.driver import QuerySession
 
 __all__ = ["SharedTransferState", "QueryBatchRunner"]
+
+#: Offset between consecutive priority classes in the merged schedule.
+#: Within-plan task priorities are small (contribution ranks are tens,
+#: multi-device order indices are bounded by the partition count), so the
+#: stride makes class order strict while preserving each plan's internal
+#: priority order.
+PRIORITY_STRIDE = 1e6
 
 
 class SharedTransferState:
@@ -119,10 +147,25 @@ class QueryBatchRunner:
             max_iterations if max_iterations is not None else system.max_iterations
         )
 
-    def run(self, queries: Sequence[tuple[VertexProgram, int | None]]) -> BatchResult:
-        """Execute ``queries`` (program, source) pairs as one batch."""
+    def run(
+        self,
+        queries: Sequence[tuple[VertexProgram, int | None]],
+        priorities: Sequence[float] | None = None,
+    ) -> BatchResult:
+        """Execute ``queries`` (program, source) pairs as one batch.
+
+        ``priorities`` (one rank per query, lower = more urgent) turns on
+        priority scheduling: queries plan in rank order and every merged
+        stream task of a higher class is scheduled before any task of a
+        lower class.  ``None`` — or all-equal ranks — reproduces the
+        historical FIFO co-schedule bitwise.
+        """
         if not queries:
             raise ValueError("a batch needs at least one query")
+        if priorities is not None and len(priorities) != len(queries):
+            raise ValueError(
+                "got %d priorities for %d queries" % (len(priorities), len(queries))
+            )
         system = self.system
         context = system.context
         driver = system.driver
@@ -133,20 +176,34 @@ class QueryBatchRunner:
         sessions: list[QuerySession] = [
             system.start_session(program, source) for program, source in queries
         ]
+        # Dense class offsets: arbitrary rank values (enum members, raw
+        # floats) map onto consecutive stride multiples; rank 0 offset is
+        # exactly 0.0 so an all-equal batch leaves task priorities
+        # untouched.
+        if priorities is None:
+            offsets = [0.0] * len(sessions)
+            order_key = lambda index: index  # noqa: E731 - submission order
+        else:
+            ranks = [float(rank) for rank in priorities]
+            dense = {rank: position for position, rank in enumerate(sorted(set(ranks)))}
+            offsets = [dense[rank] * PRIORITY_STRIDE for rank in ranks]
+            order_key = lambda index: (ranks[index], index)  # noqa: E731
         shared = SharedTransferState()
         cache = context.cache
         cache_before = cache.snapshot_counters() if cache is not None else None
 
         makespan = 0.0
         super_iterations = 0
+        clocks = [0.0] * len(sessions)
         while True:
             live = [
-                session
-                for session in sessions
+                index
+                for index, session in enumerate(sessions)
                 if session.live and session.iteration < self.max_iterations
             ]
             if not live:
                 break
+            live.sort(key=order_key)
             shared.begin_super_iteration()
             if cache is not None:
                 # One cache observation window per super-iteration: the
@@ -156,16 +213,23 @@ class QueryBatchRunner:
                 cache.begin_iteration()
 
             # Plan every live query's iteration (mutates its state and the
-            # shared warm-transfer bookkeeping, in deterministic query order).
-            plans = [(session, driver.plan(system, session, shared=shared)) for session in live]
+            # shared warm-transfer bookkeeping, in deterministic query
+            # order: priority rank first, then submission).
+            plans = [
+                (index, driver.plan(system, sessions[index], shared=shared)) for index in live
+            ]
 
             merged_tasks = context.empty_device_lists()
             merged_sync = [0] * context.num_devices
             overhead = 0.0
-            for session, plan in plans:
+            for index, plan in plans:
+                session = sessions[index]
                 sync_bytes = context.sync_bytes(plan.remote_updates)
                 for device in range(context.num_devices):
-                    merged_tasks[device].extend(plan.device_tasks[device])
+                    merged_tasks[device].extend(
+                        self._tag_task(task, index, offsets[index])
+                        for task in plan.device_tasks[device]
+                    )
                     merged_sync[device] += sync_bytes[device]
                 overhead += plan.overhead_time
                 # Per-query statistics: the query's own tasks scheduled
@@ -176,10 +240,17 @@ class QueryBatchRunner:
             # Batch wall-clock: all live queries' tasks co-scheduled on the
             # shared devices, one boundary exchange for their merged deltas.
             timeline = context.schedule(merged_tasks, merged_sync)
+            finish_times = self._per_query_finish(timeline)
+            for index, plan in plans:
+                clocks[index] += finish_times.get(index, 0.0) + plan.overhead_time
             makespan += timeline.makespan + overhead
             super_iterations += 1
 
         results = [system.finish_session(session) for session in sessions]
+        for index, result in enumerate(results):
+            result.extra["batch_latency_s"] = clocks[index]
+            if priorities is not None:
+                result.extra["priority"] = priorities[index]
         first = results[0]
         cache_totals = (
             cache.delta(cache_before) if cache is not None else dict.fromkeys(
@@ -197,9 +268,46 @@ class QueryBatchRunner:
             cache_hit_bytes=cache_totals["hit_bytes"],
             cache_miss_bytes=cache_totals["miss_bytes"],
             cache_evicted_bytes=cache_totals["evicted_bytes"],
+            latencies=clocks,
             extra={
                 "num_devices": context.num_devices,
                 "resident_partitions": context.num_resident_partitions,
                 "cache_policy": context.cache_policy,
+                "scheduling": "fifo" if priorities is None else "priority",
             },
         )
+
+    # ------------------------------------------------------------------
+    # Merged-schedule helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _tag_task(task, query_index: int, priority_offset: float):
+        """Copy a stream task into the merged co-schedule.
+
+        The copy carries a ``q<index>|`` name prefix so per-query finish
+        times can be read back out of the merged timeline, and — under
+        priority scheduling — its class offset added to the task
+        priority.  A zero offset leaves the priority field untouched, so
+        FIFO merges schedule bit-for-bit like the untagged historical
+        path (names never influence scheduling).
+        """
+        priority = task.priority if not priority_offset else priority_offset + task.priority
+        return replace(task, name="q%d|%s" % (query_index, task.name), priority=priority)
+
+    @staticmethod
+    def _per_query_finish(timeline) -> dict[int, float]:
+        """Latest task end per query in a merged timeline.
+
+        Collective entries (the boundary sync) carry no ``q<index>|`` tag
+        and are excluded: they belong to the batch, not to any query.
+        """
+        finish: dict[int, float] = {}
+        for entry in timeline.entries:
+            head, sep, _ = entry.name.partition("|")
+            if not sep or not head.startswith("q") or not head[1:].isdigit():
+                continue
+            index = int(head[1:])
+            end = entry.end
+            if end > finish.get(index, 0.0):
+                finish[index] = end
+        return finish

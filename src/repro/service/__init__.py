@@ -1,0 +1,49 @@
+"""Session-oriented serving API: typed requests, priorities/SLAs, admission.
+
+This package is the public entry point for running queries — the API
+spine the scaling features (priority scheduling, admission control,
+future async pipelining and multi-backend execution) plug into:
+
+* :class:`~repro.service.core.GraphService` — one warmed execution
+  session per (graph, config), serving typed requests;
+* :class:`~repro.service.request.QueryRequest` /
+  :class:`~repro.service.request.QueryHandle` — the submit → poll →
+  result lifecycle, with per-request :class:`~repro.service.request.Priority`
+  classes and optional latency deadlines;
+* :class:`~repro.service.config.ServiceConfig` — device, cache,
+  interconnect and serving knobs as one dataclass;
+* :class:`~repro.service.admission.AdmissionController` — bounded
+  estimated bytes in flight per scheduling wave;
+* :class:`~repro.service.stats.ServiceStats` — admission counters,
+  per-class latency percentiles, SLA attainment.
+
+The historical entry points (``Workload.run``/``run_batch``/
+``run_sequential`` and the CLI subcommands) are thin adapters over this
+package.
+"""
+
+from repro.service.admission import AdmissionController
+from repro.service.config import ServiceConfig
+from repro.service.core import GraphService
+from repro.service.request import (
+    Priority,
+    QueryHandle,
+    QueryRequest,
+    RequestRejected,
+    RequestStatus,
+)
+from repro.service.stats import ServiceStats
+from repro.service.trace import synthetic_mixed_trace
+
+__all__ = [
+    "synthetic_mixed_trace",
+    "AdmissionController",
+    "GraphService",
+    "Priority",
+    "QueryHandle",
+    "QueryRequest",
+    "RequestRejected",
+    "RequestStatus",
+    "ServiceConfig",
+    "ServiceStats",
+]

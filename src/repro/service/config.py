@@ -1,0 +1,90 @@
+"""One dataclass for every serving knob.
+
+Historically the knobs of a run were scattered across ``make_system``
+kwargs, ``build_workload`` arguments and per-CLI flags; the service
+collects them in :class:`ServiceConfig` so a deployment is described by
+one value — which graph, which system, how many devices over which
+interconnect, which cache policy, and the serving policies (scheduling
+discipline, admission budget) layered on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.systems import SYSTEMS
+
+__all__ = ["ServiceConfig", "SCHEDULING_POLICIES", "ADMISSION_POLICIES"]
+
+#: How a wave's merged task lists are ordered.
+SCHEDULING_POLICIES = ("priority", "fifo")
+
+#: What happens to a request that does not fit the admission budget.
+ADMISSION_POLICIES = ("queue", "reject")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything a :class:`~repro.service.GraphService` needs to exist.
+
+    Graph/platform knobs (``dataset``/``scale``/``gpu``/``devices``/
+    ``interconnect``) feed :func:`repro.bench.workloads.build_workload`
+    when the service builds its own graph; they are ignored when a
+    prebuilt system or workload is supplied.  Cache knobs are forwarded
+    to the system; serving knobs configure the scheduler and the
+    admission controller.
+    """
+
+    # --- system/platform ------------------------------------------------
+    system: str = "hytgraph"
+    dataset: str = "SK"
+    scale: float = 1.0
+    gpu: str | None = None
+    devices: int = 1
+    interconnect: str | None = None
+    # --- device-memory cache -------------------------------------------
+    cache_policy: str = "static-prefix"
+    cache_budget: int | None = None
+    # --- serving --------------------------------------------------------
+    #: ``"priority"`` orders merged tasks by request priority class;
+    #: ``"fifo"`` reproduces the historical submission-order co-schedule.
+    scheduling: str = "priority"
+    #: Estimated-bytes-in-flight ceiling per scheduling wave
+    #: (``None`` = unlimited; ``0`` admits only zero-estimate requests).
+    admission_budget_bytes: int | None = None
+    #: ``"queue"`` holds overflow requests for a later wave; ``"reject"``
+    #: refuses them outright (hard back-pressure).
+    admission_policy: str = "queue"
+    max_iterations: int | None = None
+
+    def __post_init__(self):
+        if self.system.lower() not in SYSTEMS:
+            raise ValueError(
+                "unknown system %r; available: %s"
+                % (self.system, ", ".join(sorted(SYSTEMS)))
+            )
+        if self.scheduling not in SCHEDULING_POLICIES:
+            raise ValueError(
+                "unknown scheduling policy %r; pick one of: %s"
+                % (self.scheduling, ", ".join(SCHEDULING_POLICIES))
+            )
+        if self.admission_policy not in ADMISSION_POLICIES:
+            raise ValueError(
+                "unknown admission policy %r; pick one of: %s"
+                % (self.admission_policy, ", ".join(ADMISSION_POLICIES))
+            )
+        if self.admission_budget_bytes is not None and self.admission_budget_bytes < 0:
+            raise ValueError("admission_budget_bytes must be non-negative")
+        if self.devices < 1:
+            raise ValueError("devices must be at least 1")
+
+    def system_kwargs(self) -> dict:
+        """Constructor kwargs for ``make_system`` from the cache knobs."""
+        kwargs: dict = {}
+        if self.cache_policy != "static-prefix":
+            kwargs["cache_policy"] = self.cache_policy
+        if self.cache_budget is not None:
+            kwargs["cache_budget"] = self.cache_budget
+        if self.max_iterations is not None:
+            kwargs["max_iterations"] = self.max_iterations
+        return kwargs

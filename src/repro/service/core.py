@@ -1,0 +1,343 @@
+"""The :class:`GraphService` facade: one warmed session serving typed queries.
+
+A service owns exactly one system instance — hence one warmed
+:class:`~repro.runtime.context.ExecutionContext` (partitioning, shards,
+schedulers) and one device-memory cache — per (graph, config), and every
+query submitted to it executes on that session.  Requests flow::
+
+    QueryRequest ── submit() ──▶ admission control ──▶ QUEUED ─┐
+                         │                                     │ drain()
+                         └──────────▶ REJECTED                 ▼
+                                                    priority-scheduled wave
+                                                     (QueryBatchRunner)
+                                                               │
+    result() ◀─────────────── DONE ◀───────────────────────────┘
+
+``drain`` serves the queue in *waves*: the admission controller splits
+off as many queued requests as fit its byte budget, the batch runner
+co-schedules them with merged task lists ordered by priority class, and
+each completed request records its simulated latency (queue wait plus
+execution) and SLA outcome.  Submitting is cheap and never executes;
+polling a handle never executes; ``drain`` (or ``handle.result()``) does
+the work.
+
+Per-query *values* are bitwise identical to standalone ``system.run``
+calls — the scheduler shares transfer state, never semantics — which is
+what lets ``Workload.run``/``run_batch``/``run_sequential`` and the CLI
+be thin adapters over this class (asserted across the full
+algorithm × system grid in ``tests/test_service.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.algorithms import make_algorithm
+from repro.algorithms.base import VertexProgram
+from repro.metrics.results import BatchResult, RunResult
+from repro.runtime.batch import QueryBatchRunner
+from repro.service.admission import AdmissionController
+from repro.service.config import ServiceConfig
+from repro.service.request import (
+    Priority,
+    QueryHandle,
+    QueryRequest,
+    RequestStatus,
+)
+from repro.service.stats import ServiceStats
+from repro.systems import make_system
+
+__all__ = ["GraphService"]
+
+
+class GraphService:
+    """Session-oriented serving API over one (graph, config) pair.
+
+    Parameters
+    ----------
+    config:
+        The :class:`ServiceConfig` describing platform and serving
+        policies (defaults throughout when omitted).
+    system:
+        A prebuilt :class:`~repro.systems.base.GraphSystem` to serve on.
+        When omitted the service builds its own from ``config`` (and
+        ``graph``/``hardware`` when given): the dataset stand-in is
+        loaded weighted so every algorithm can run against it — except
+        CC, whose weakly-connected semantics need a symmetrized graph
+        (submit a CC request only to a service built over one; a
+        directed graph is refused at submit).
+    graph / hardware:
+        Optional prebuilt graph and
+        :class:`~repro.sim.config.HardwareConfig` for the self-built
+        path.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, *, system=None, graph=None, hardware=None):
+        self.config = config or ServiceConfig()
+        if system is None:
+            system = self._build_system(self.config, graph, hardware)
+        self.system = system
+        self.runner = QueryBatchRunner(system)
+        self.admission = AdmissionController(
+            system,
+            budget_bytes=self.config.admission_budget_bytes,
+            policy=self.config.admission_policy,
+        )
+        self._handles: list[QueryHandle] = []
+        self._queue: list[QueryHandle] = []
+        self._batches: list[BatchResult] = []
+        #: Simulated clock: accumulated makespan of the served waves.
+        self._clock_s = 0.0
+        #: Lazily computed: whether the service graph is symmetric
+        #: (gates programs with ``needs_symmetric``, e.g. CC).
+        self._graph_symmetric: bool | None = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _build_system(config: ServiceConfig, graph, hardware):
+        from repro.bench.workloads import build_workload, scaled_config_for
+        from repro.sim.config import GPU_PRESETS, gtx_2080ti
+
+        if graph is None:
+            # The SSSP cell loads the dataset weighted, so one graph
+            # serves every algorithm except CC (gated at submit: its
+            # weakly-connected semantics need a symmetrized graph).
+            workload = build_workload(
+                config.dataset,
+                "sssp",
+                scale=config.scale,
+                preset=config.gpu,
+                num_devices=config.devices,
+                interconnect=config.interconnect,
+            )
+            graph, hardware = workload.graph, workload.config
+        elif hardware is None:
+            preset = GPU_PRESETS[config.gpu] if config.gpu else None
+            if config.devices != 1 or config.interconnect is not None:
+                preset = (preset or gtx_2080ti()).with_devices(config.devices, config.interconnect)
+            hardware = scaled_config_for(graph, None, preset)
+        return make_system(config.system, graph, config=hardware, **config.system_kwargs())
+
+    @classmethod
+    def for_workload(
+        cls, workload, system_name: str, config: ServiceConfig | None = None, **system_kwargs
+    ) -> "GraphService":
+        """A service over one benchmark workload's graph and hardware.
+
+        This is the constructor the ``Workload``/CLI adapters use: the
+        system is built exactly as the historical entry points built it
+        (same graph, same scaled hardware config, same kwargs), so
+        results stay bitwise compatible.
+        """
+        workload.check_multi_device(system_name)
+        system = make_system(
+            system_name, workload.graph, config=workload.config, **system_kwargs
+        )
+        if config is None:
+            config = ServiceConfig(system=system_name.lower(), dataset=workload.dataset)
+        return cls(config, system=system)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def graph(self):
+        """The graph every query of this service runs against."""
+        return self.system.graph
+
+    @property
+    def batches(self) -> list[BatchResult]:
+        """The served waves' batch records, in serving order."""
+        return list(self._batches)
+
+    # ------------------------------------------------------------------
+    # Lifecycle: submit -> poll -> drain -> result
+    # ------------------------------------------------------------------
+    def submit(self, request: QueryRequest) -> QueryHandle:
+        """Validate, estimate and admit (or reject) one request.
+
+        Never executes anything.  Invalid requests — unknown algorithm,
+        a source on a sourceless program, a program the service's graph
+        cannot run — raise immediately; admission refusals return a
+        ``REJECTED`` handle instead (the request was well-formed, the
+        service is protecting itself).
+        """
+        return self._submit_resolved(request, make_algorithm(request.algorithm.lower()))
+
+    def submit_program(
+        self,
+        program: VertexProgram,
+        source: int | None = None,
+        *,
+        priority: Priority = Priority.STANDARD,
+        deadline_s: float | None = None,
+        label: str | None = None,
+    ) -> QueryHandle:
+        """Submit a pre-built vertex program (the ``Workload`` adapters' path).
+
+        Equivalent to :meth:`submit` with the program's request, minus
+        the registry lookup — callers that already hold a program object
+        (benchmark workloads, the CLI) reuse it unchanged.
+        """
+        request = QueryRequest(
+            algorithm=program.name.lower(),
+            source=source,
+            priority=priority,
+            deadline_s=deadline_s,
+            label=label,
+        )
+        return self._submit_resolved(request, program)
+
+    def _submit_resolved(self, request: QueryRequest, program: VertexProgram) -> QueryHandle:
+        program.check_graph(self.graph)
+        if program.needs_symmetric and not self._symmetric_graph():
+            # The evaluation grid symmetrizes the graph for CC (weakly
+            # connected components); serving it on a directed graph would
+            # silently return different labels than every other entry
+            # point, so refuse instead.
+            raise ValueError(
+                "%s assumes a symmetric graph, but this service's graph is "
+                "directed; build the service with graph.symmetrize()" % program.name
+            )
+        source = self._resolve_source(program, request.source)
+        estimate = self.admission.estimate_request_bytes(program, source)
+        handle = QueryHandle(
+            request=request,
+            request_id=len(self._handles),
+            estimated_bytes=estimate,
+            _service=self,
+            _query=(program, source),
+        )
+        reason = self.admission.decide(estimate)
+        if reason is not None:
+            handle.status = RequestStatus.REJECTED
+            handle.reject_reason = reason
+        else:
+            self._queue.append(handle)
+        self._handles.append(handle)
+        return handle
+
+    def submit_many(self, requests: Sequence[QueryRequest]) -> list[QueryHandle]:
+        """Submit several requests; one handle each, in order."""
+        return [self.submit(request) for request in requests]
+
+    def _symmetric_graph(self) -> bool:
+        """Whether every edge has its reverse (computed once, cached)."""
+        if self._graph_symmetric is None:
+            import numpy as np
+            from scipy.sparse import csr_matrix
+
+            graph = self.graph
+            adjacency = csr_matrix(
+                (
+                    np.ones(graph.num_edges, dtype=np.int64),
+                    graph.column_index,
+                    graph.row_offset,
+                ),
+                shape=(graph.num_vertices, graph.num_vertices),
+            )
+            self._graph_symmetric = (adjacency != adjacency.T).nnz == 0
+        return self._graph_symmetric
+
+    def _resolve_source(self, program: VertexProgram, source: int | None) -> int | None:
+        if not program.needs_source:
+            if source is not None:
+                raise ValueError("algorithm %r takes no traversal source" % program.name)
+            return None
+        if source is None:
+            from repro.bench.workloads import pick_source
+
+            return pick_source(self.graph)
+        return program.validate_source(self.graph, source)
+
+    def drain(self) -> list[BatchResult]:
+        """Serve every queued request; returns the waves' batch records.
+
+        Each wave is one priority-scheduled batch on the warmed session:
+        the admission controller splits off what fits its budget (in
+        priority order under ``priority`` scheduling, submission order
+        under ``fifo``), the batch runner co-schedules it, and each
+        request's latency is the service clock at its completion — queue
+        wait included, which is what the deadline SLAs are checked
+        against.
+        """
+        served: list[BatchResult] = []
+        prioritized = self.config.scheduling == "priority"
+        while self._queue:
+            if prioritized:
+                self._queue.sort(key=lambda handle: (handle.request.priority, handle.request_id))
+            wave = self.admission.take_wave(self._queue)
+            del self._queue[: len(wave)]
+            for handle in wave:
+                handle.status = RequestStatus.RUNNING
+                handle.wave = len(self._batches)
+            queries = [handle._query for handle in wave]
+            priorities = (
+                [int(handle.request.priority) for handle in wave] if prioritized else None
+            )
+            batch = self.runner.run(queries, priorities=priorities)
+            for handle, result, latency in zip(wave, batch.results, batch.latencies):
+                handle.status = RequestStatus.DONE
+                handle.latency_s = self._clock_s + latency
+                handle._result = result
+                result.extra["service_latency_s"] = handle.latency_s
+                if handle.request.deadline_s is not None:
+                    handle.deadline_met = handle.latency_s <= handle.request.deadline_s
+            self._clock_s += batch.makespan
+            self.admission.release(wave)
+            self._batches.append(batch)
+            served.append(batch)
+        return served
+
+    def run(self, request: QueryRequest) -> RunResult:
+        """Submit one request and serve the queue to completion.
+
+        The single-query convenience the ``Workload.run``/CLI adapters
+        sit on; raises :class:`~repro.service.request.RequestRejected`
+        when admission control refuses the request.
+        """
+        handle = self.submit(request)
+        return handle.result()
+
+    # ------------------------------------------------------------------
+    # Baselines and statistics
+    # ------------------------------------------------------------------
+    def baseline_sequential(
+        self, queries: Sequence[tuple[VertexProgram, int | None]]
+    ) -> list[RunResult]:
+        """The unbatched baseline: each query run cold, back to back.
+
+        What a serving layer without batching would do; used by the CLI
+        ``batch`` comparison and the scheduling benchmarks.
+        """
+        return [self.system.run(program, source=source) for program, source in queries]
+
+    def stats(self) -> ServiceStats:
+        """Aggregate admission/latency/SLA statistics so far."""
+        stats = ServiceStats(
+            submitted=len(self._handles),
+            queued=len(self._queue),
+            waves=len(self._batches),
+            makespan_s=self._clock_s,
+            total_transfer_bytes=int(
+                sum(batch.total_transfer_bytes for batch in self._batches)
+            ),
+        )
+        for handle in self._handles:
+            if handle.status is RequestStatus.REJECTED:
+                stats.rejected += 1
+                continue
+            stats.admitted += 1
+            if handle.status is not RequestStatus.DONE:
+                continue
+            stats.completed += 1
+            stats.latencies_by_class.setdefault(handle.request.priority, []).append(
+                handle.latency_s
+            )
+            if handle.deadline_met is True:
+                stats.deadline_met += 1
+            elif handle.deadline_met is False:
+                stats.deadline_missed += 1
+        return stats

@@ -1,0 +1,158 @@
+"""Typed request/response surface of the serving API.
+
+A :class:`QueryRequest` is what a client of :class:`~repro.service.GraphService`
+submits: which algorithm, from which source, at which :class:`Priority`
+class, optionally with a latency deadline (the SLA).  Submission returns
+a :class:`QueryHandle` that walks the request lifecycle::
+
+    submit() ──▶ QUEUED ──▶ RUNNING ──▶ DONE ──▶ result()
+          │
+          └────▶ REJECTED (admission control; see repro.service.admission)
+
+Handles are poll-based: :meth:`QueryHandle.poll` never executes anything,
+:meth:`QueryHandle.result` drains the service's queue on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, IntEnum
+
+from repro.metrics.results import RunResult
+
+__all__ = ["Priority", "QueryRequest", "RequestStatus", "QueryHandle", "RequestRejected"]
+
+
+class Priority(IntEnum):
+    """Request priority classes (lower value = served first).
+
+    The scheduler orders merged per-device task lists in strict class
+    order — every stream task of a higher class is scheduled before any
+    task of a lower class — so one INTERACTIVE point lookup is never
+    stuck behind a BULK analytical scan.
+    """
+
+    #: Cheap point lookups with tight latency expectations.
+    INTERACTIVE = 0
+    #: The default class for ordinary queries.
+    STANDARD = 1
+    #: Heavy analytical work that tolerates queueing.
+    BULK = 2
+
+    @classmethod
+    def parse(cls, value: "Priority | str | int") -> "Priority":
+        """Coerce an enum member, name (``"interactive"``) or value."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls[value.upper()]
+            except KeyError:
+                raise ValueError(
+                    "unknown priority %r; pick one of: %s"
+                    % (value, ", ".join(member.name.lower() for member in cls))
+                ) from None
+        return cls(value)
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One typed query submission.
+
+    Attributes
+    ----------
+    algorithm:
+        Registry key of the vertex program (``"sssp"``, ``"bfs"``,
+        ``"cc"``, ``"pagerank"``, ``"php"``).
+    source:
+        Traversal source for source-based algorithms (``None`` for the
+        sourceless ones; ``None`` on a source-based algorithm lets the
+        service pick its default source).
+    priority:
+        Scheduling class; also accepts the class name as a string.
+    deadline_s:
+        Optional latency SLA in simulated seconds.  Missing it never
+        cancels the query — the service records the miss per request
+        (:attr:`QueryHandle.deadline_met`) and aggregates SLA attainment
+        in :class:`~repro.service.stats.ServiceStats`.
+    label:
+        Free-form client tag carried through to the handle (trace names,
+        tenant ids).
+    """
+
+    algorithm: str
+    source: int | None = None
+    priority: Priority = Priority.STANDARD
+    deadline_s: float | None = None
+    label: str | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "priority", Priority.parse(self.priority))
+        if self.deadline_s is not None and self.deadline_s < 0:
+            raise ValueError("deadline_s must be non-negative")
+
+
+class RequestStatus(Enum):
+    """Lifecycle state of a submitted request."""
+
+    #: Admitted and waiting for a scheduling wave.
+    QUEUED = "queued"
+    #: Refused by admission control (terminal; see ``reject_reason``).
+    REJECTED = "rejected"
+    #: Being executed in the current scheduling wave.
+    RUNNING = "running"
+    #: Finished; the result is available (terminal).
+    DONE = "done"
+
+
+class RequestRejected(RuntimeError):
+    """Raised when a rejected request's result is demanded."""
+
+
+@dataclass
+class QueryHandle:
+    """Client-side view of one submitted request (submit → poll → result)."""
+
+    request: QueryRequest
+    request_id: int
+    status: RequestStatus = RequestStatus.QUEUED
+    #: Why admission control refused the request (``None`` unless REJECTED).
+    reject_reason: str | None = None
+    #: Admission-control estimate of the request's bytes in flight.
+    estimated_bytes: int = 0
+    #: Scheduling wave the request ran in (``None`` until it runs).
+    wave: int | None = None
+    #: Simulated submit-to-completion latency (queue wait + execution).
+    latency_s: float | None = None
+    #: SLA outcome (``None`` when the request carried no deadline).
+    deadline_met: bool | None = None
+    _service: object | None = field(default=None, repr=False)
+    #: The resolved (program, source) pair the service will execute.
+    _query: tuple | None = field(default=None, repr=False)
+    _result: RunResult | None = field(default=None, repr=False)
+
+    @property
+    def done(self) -> bool:
+        """Whether the request reached a terminal state."""
+        return self.status in (RequestStatus.DONE, RequestStatus.REJECTED)
+
+    def poll(self) -> RequestStatus:
+        """Current lifecycle state; never triggers execution."""
+        return self.status
+
+    def result(self, wait: bool = True) -> RunResult | None:
+        """The query's :class:`RunResult`.
+
+        ``wait=True`` (default) drains the owning service's queue until
+        this request completes; ``wait=False`` returns ``None`` when the
+        result is not ready yet.  Raises :class:`RequestRejected` for
+        requests refused by admission control.
+        """
+        if self.status is RequestStatus.REJECTED:
+            raise RequestRejected(
+                "request %d (%s) was rejected: %s"
+                % (self.request_id, self.request.algorithm, self.reject_reason)
+            )
+        if self._result is None and wait:
+            self._service.drain()
+        return self._result

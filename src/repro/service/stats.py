@@ -1,0 +1,107 @@
+"""Aggregate serving statistics: admission counts, latency percentiles, SLAs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.service.request import Priority
+
+__all__ = ["ServiceStats"]
+
+
+@dataclass
+class ServiceStats:
+    """One snapshot of a :class:`~repro.service.GraphService`'s counters.
+
+    Latencies are grouped per priority class so the multi-tenant
+    questions — "what's the p95 of my point lookups while the analytical
+    tenant is hammering the service?" — read straight off the record.
+    """
+
+    submitted: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    #: Admitted requests still waiting for a scheduling wave.
+    queued: int = 0
+    #: Scheduling waves served so far.
+    waves: int = 0
+    #: Simulated seconds of every served wave, end to end.
+    makespan_s: float = 0.0
+    total_transfer_bytes: int = 0
+    deadline_met: int = 0
+    deadline_missed: int = 0
+    latencies_by_class: dict[Priority, list[float]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def queries_per_second(self) -> float:
+        """Completed queries over the served makespan (0 when idle)."""
+        if self.makespan_s <= 0.0:
+            return 0.0
+        return self.completed / self.makespan_s
+
+    @property
+    def deadline_attainment(self) -> float:
+        """Fraction of deadline-carrying requests that met their SLA."""
+        carrying = self.deadline_met + self.deadline_missed
+        if carrying == 0:
+            return 1.0
+        return self.deadline_met / carrying
+
+    def class_latencies(self, priority: Priority) -> list[float]:
+        """Completed-request latencies of one priority class."""
+        return self.latencies_by_class.get(Priority.parse(priority), [])
+
+    def latency_percentile(self, priority: Priority, percentile: float) -> float:
+        """A latency percentile (e.g. ``95``) of one class; 0.0 when empty."""
+        latencies = self.class_latencies(priority)
+        if not latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(latencies, dtype=np.float64), percentile))
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def class_rows(self) -> list[dict[str, object]]:
+        """Per-class latency table rows (for ``format_table``)."""
+        rows = []
+        for priority in Priority:
+            latencies = self.class_latencies(priority)
+            if not latencies:
+                continue
+            rows.append(
+                {
+                    "class": priority.name.lower(),
+                    "queries": len(latencies),
+                    "p50 (s)": round(self.latency_percentile(priority, 50), 6),
+                    "p95 (s)": round(self.latency_percentile(priority, 95), 6),
+                    "max (s)": round(max(latencies), 6),
+                }
+            )
+        return rows
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly dump (benchmark artifacts, trace reports)."""
+        return {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "queued": self.queued,
+            "waves": self.waves,
+            "makespan_s": self.makespan_s,
+            "queries_per_second": self.queries_per_second,
+            "total_transfer_bytes": self.total_transfer_bytes,
+            "deadline_met": self.deadline_met,
+            "deadline_missed": self.deadline_missed,
+            "deadline_attainment": self.deadline_attainment,
+            "latencies_by_class": {
+                priority.name.lower(): list(latencies)
+                for priority, latencies in self.latencies_by_class.items()
+            },
+        }

@@ -1,0 +1,45 @@
+"""Synthetic request traces shared by the CLI demo and the benchmarks.
+
+One definition of the multi-tenant starvation scenario — heavy BULK
+analytics already queued when a burst of INTERACTIVE point lookups
+arrives — so the ``serve`` CLI, ``bench_service_scheduling.py`` and the
+``bench_perf_hotpaths.py`` regression-gate section all measure the same
+trace shape.
+"""
+
+from __future__ import annotations
+
+from repro.service.request import Priority, QueryRequest
+
+__all__ = ["synthetic_mixed_trace"]
+
+
+def synthetic_mixed_trace(graph, point_lookups: int, analytical: int, seed: int) -> list[QueryRequest]:
+    """BULK PageRank analytics first, seeded INTERACTIVE BFS lookups after.
+
+    The analytics lead the queue (they were already submitted when the
+    lookups arrive), which is exactly the ordering a FIFO co-schedule
+    serves worst.  Lookup sources are sampled seed-deterministically
+    through :func:`repro.bench.workloads.batch_sources`.
+    """
+    if point_lookups < 0 or analytical < 0:
+        raise ValueError("trace sizes must be non-negative")
+    if point_lookups == 0 and analytical == 0:
+        raise ValueError("a synthetic trace needs at least one request")
+    requests = [
+        QueryRequest(algorithm="pagerank", priority=Priority.BULK, label="analytical-%d" % index)
+        for index in range(analytical)
+    ]
+    if point_lookups > 0:
+        from repro.bench.workloads import batch_sources
+
+        requests.extend(
+            QueryRequest(
+                algorithm="bfs",
+                source=source,
+                priority=Priority.INTERACTIVE,
+                label="lookup-%d" % index,
+            )
+            for index, source in enumerate(batch_sources(graph, point_lookups, seed=seed))
+        )
+    return requests

@@ -121,6 +121,76 @@ class TestBatchCommand:
             main(["run", "--system", system, "--devices", "2", "--scale", "0.05"])
 
 
+class TestServeCommand:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.system == "hytgraph"
+        assert args.scheduling == "priority"
+        assert args.budget is None
+        assert args.admission == "queue"
+        assert args.trace is None
+
+    def test_serve_synthetic_trace(self, capsys):
+        code = main(["serve", "--dataset", "SK", "--scale", "0.05",
+                     "--point-lookups", "4", "--analytical", "2"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "served 6 of 6 requests" in output
+        assert "Per-class service latency" in output
+        assert "interactive" in output and "bulk" in output
+
+    def test_serve_fifo_scheduling(self, capsys):
+        code = main(["serve", "--dataset", "SK", "--scale", "0.05",
+                     "--point-lookups", "2", "--analytical", "1",
+                     "--scheduling", "fifo"])
+        assert code == 0
+        assert "fifo scheduling" in capsys.readouterr().out
+
+    def test_serve_trace_file(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        trace.write_text(json.dumps([
+            {"algorithm": "bfs", "source": 0, "priority": "interactive",
+             "deadline_s": 10.0, "label": "lookup"},
+            {"algorithm": "pagerank", "priority": "bulk"},
+        ]))
+        code = main(["serve", "--dataset", "SK", "--scale", "0.05",
+                     "--trace", str(trace)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "served 2 of 2 requests" in output
+        assert "deadlines: 1 met, 0 missed" in output
+
+    def test_serve_zero_budget_reports_rejections(self, capsys):
+        code = main(["serve", "--dataset", "SK", "--scale", "0.05",
+                     "--point-lookups", "2", "--analytical", "0",
+                     "--budget", "0"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "served 0 of 2 requests" in output
+        assert "2 rejected" in output
+        assert "admission budget" in output
+
+    def test_serve_bad_trace_rejected(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        trace.write_text("[]")
+        with pytest.raises(SystemExit, match="non-empty JSON list"):
+            main(["serve", "--scale", "0.05", "--trace", str(trace)])
+        trace.write_text('[{"source": 3}]')
+        with pytest.raises(SystemExit, match="bad trace entry #0"):
+            main(["serve", "--scale", "0.05", "--trace", str(trace)])
+
+    def test_serve_empty_synthetic_trace_rejected(self):
+        with pytest.raises(SystemExit, match="synthetic trace"):
+            main(["serve", "--scale", "0.05", "--point-lookups", "0",
+                  "--analytical", "0"])
+
+    def test_serve_refuses_multi_device_incapable_system(self):
+        with pytest.raises(SystemExit, match="no multi-device execution path"):
+            main(["serve", "--system", "grus", "--devices", "2", "--scale", "0.05"])
+
+
 class TestCacheOptions:
     def test_cache_defaults(self):
         args = build_parser().parse_args(["run"])

@@ -161,3 +161,63 @@ class TestBatchWorkloads:
         workload = build_workload("SK", "pagerank", scale=0.05)
         queries = workload.make_queries(count=3, seed=5)
         assert [s for _, s in queries] == [None, None, None]
+
+    def test_make_queries_rejects_sources_combined_with_sampling(self):
+        """Explicit sources + count/seed used to silently drop the sampling."""
+        workload = build_workload("SK", "sssp", scale=0.05)
+        with pytest.raises(ValueError, match="not both"):
+            workload.make_queries([1, 2], count=4)
+        with pytest.raises(ValueError, match="not both"):
+            workload.make_queries([1, 2], seed=7)
+
+
+class TestDeprecationShims:
+    """The old entry points warn exactly once, pointing at GraphService."""
+
+    @pytest.fixture(autouse=True)
+    def _reset_warned(self):
+        from repro.bench import workloads
+
+        workloads._DEPRECATION_WARNED.clear()
+        yield
+        workloads._DEPRECATION_WARNED.clear()
+
+    MESSAGE = r"deprecated; submit a repro\.service\.QueryRequest to a repro\.service\.GraphService"
+
+    def test_run_warns_once_and_matches_service(self):
+        import warnings
+
+        workload = build_workload("SK", "bfs", scale=0.05)
+        with pytest.warns(DeprecationWarning, match="Workload.run is " + self.MESSAGE):
+            result = workload.run("emogi")
+        assert result.converged
+        # Second call: the shim stays quiet (one warning per entry point).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            workload.run("emogi")
+
+    def test_run_batch_warns(self):
+        workload = build_workload("SK", "sssp", scale=0.05)
+        with pytest.warns(DeprecationWarning, match="Workload.run_batch is " + self.MESSAGE):
+            batch = workload.run_batch("hytgraph", [0, 1])
+        assert batch.num_queries == 2
+
+    def test_run_sequential_warns(self):
+        workload = build_workload("SK", "sssp", scale=0.05)
+        with pytest.warns(
+            DeprecationWarning, match="Workload.run_sequential is " + self.MESSAGE
+        ):
+            results = workload.run_sequential("hytgraph", [0, 1])
+        assert len(results) == 2
+
+    def test_adapters_match_direct_service(self):
+        """The shims are pure adapters: same values as the service path."""
+        from repro.service import GraphService, QueryRequest
+
+        workload = build_workload("SK", "bfs", scale=0.05)
+        with pytest.warns(DeprecationWarning):
+            via_shim = workload.run("hytgraph")
+        service = GraphService.for_workload(workload, "hytgraph")
+        direct = service.run(QueryRequest(algorithm="bfs", source=workload.source))
+        np.testing.assert_array_equal(via_shim.values, direct.values)
+        assert via_shim.per_iteration_times() == direct.per_iteration_times()
