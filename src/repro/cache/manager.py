@@ -68,6 +68,7 @@ class CacheManager:
         #: Per-device cache budget in bytes (``--cache-budget`` or the
         #: device's edge-cache memory).
         per_device = config.gpu_memory_bytes if budget_bytes is None else budget_bytes
+        self.per_device_budget = per_device
         self.budget_bytes = [per_device] * self.num_devices
         self.partition_bytes = np.array(
             [partitioning[p].edge_bytes for p in range(self.num_partitions)], dtype=np.int64
@@ -88,6 +89,10 @@ class CacheManager:
         self._window_active = np.zeros(self.num_partitions, dtype=np.int64)
         self._window_dirty = False
         self._counters = dict.fromkeys(COUNTER_FIELDS, 0)
+        #: Bytes dropped by fault-driven :meth:`invalidate` calls (kept
+        #: out of the eviction counters: residency lost to a fault is
+        #: not a policy decision).
+        self.invalidated_bytes = 0
         self._install_initial_residency()
 
     # ------------------------------------------------------------------
@@ -112,11 +117,81 @@ class CacheManager:
         self._window_active[:] = 0
         self._window_dirty = False
         self._counters = dict.fromkeys(COUNTER_FIELDS, 0)
+        self.invalidated_bytes = 0
         self.policy.reset()
         if self.adaptive:
             self.resident[:] = False
             self.used_bytes = [0] * self.num_devices
         else:
+            self._install_initial_residency()
+
+    # ------------------------------------------------------------------
+    # Fault recovery (in-place mutation: callers keep their reference)
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every resident partition without billing evictions.
+
+        Fault-driven: the bytes were lost (device died, shards moved),
+        not chosen for replacement, so the loss lands in
+        :attr:`invalidated_bytes` rather than the eviction counters and
+        the policy's recency/score state restarts cold.
+        """
+        self.invalidated_bytes += self.resident_bytes
+        self.resident[:] = False
+        self.loaded[:] = False
+        self.used_bytes = [0] * self.num_devices
+        self.policy.reset()
+
+    def set_budget(self, budget_bytes: int) -> None:
+        """Change the per-device budget mid-run, evicting down to it."""
+        if budget_bytes < 0:
+            raise ValueError("cache budget must be non-negative")
+        self.per_device_budget = budget_bytes
+        self.budget_bytes = [budget_bytes] * self.num_devices
+        self._evict_over_budget()
+
+    def shrink_budget(self, factor: float) -> None:
+        """Memory pressure: scale the per-device budget by ``factor``."""
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError("memory-pressure factor must be in [0, 1]")
+        self.set_budget(int(self.per_device_budget * factor))
+
+    def _evict_over_budget(self) -> None:
+        """Evict trailing resident partitions until every device fits.
+
+        Trailing-first keeps the static policy's pinned *prefix* shape
+        intact, and for adaptive policies it is simply a deterministic
+        order; these are real (billed) evictions — the partitions are
+        pushed out to make the budget, not lost to a fault.
+        """
+        for device in range(self.num_devices):
+            budget = self.budget_bytes[device]
+            if self.used_bytes[device] <= budget:
+                continue
+            for index in self.resident_on_device(device)[::-1]:
+                self._evict(int(index))
+                if self.used_bytes[device] <= budget:
+                    break
+
+    def reshard(self, sharding: ShardedPartitioning) -> None:
+        """Rebind to a new sharding after device loss, in place.
+
+        All residency is invalidated first — survivors' contents no
+        longer match their new shards — then the device maps and budgets
+        are rebuilt for the new device count.  The static policy re-pins
+        its prefix on the survivors with cleared first-touch flags, so
+        the re-warm transfers are billed naturally on next use.
+        """
+        self.invalidate()
+        self.sharding = sharding
+        self.num_devices = sharding.num_devices
+        self.budget_bytes = [self.per_device_budget] * self.num_devices
+        self.used_bytes = [0] * self.num_devices
+        self.device_of = np.array(
+            [sharding.device_of_partition(p) for p in range(self.num_partitions)],
+            dtype=np.int64,
+        )
+        if not self.adaptive:
             self._install_initial_residency()
 
     # ------------------------------------------------------------------

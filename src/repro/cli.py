@@ -62,7 +62,11 @@ _BYTE_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3}
 
 
 def parse_byte_size(text: str) -> int:
-    """Parse a byte count like ``1048576``, ``64M`` or ``2g``."""
+    """Parse a byte count like ``1048576``, ``64M`` or ``2g``.
+
+    Suffixes are case-insensitive: ``K``/``k`` = 1024, ``M``/``m`` =
+    1024**2, ``G``/``g`` = 1024**3.
+    """
     raw = text.strip().lower()
     multiplier = 1
     if raw and raw[-1] in _BYTE_SUFFIXES:
@@ -72,7 +76,8 @@ def parse_byte_size(text: str) -> int:
         value = int(raw)
     except ValueError:
         raise argparse.ArgumentTypeError(
-            "invalid byte size %r (use an integer, optionally suffixed K/M/G)" % text
+            "invalid byte size %r: accepted forms are a plain integer (1048576) "
+            "or an integer with a K/M/G suffix in either case (64M, 2g, 512k)" % text
         ) from None
     if value < 0:
         raise argparse.ArgumentTypeError("byte size must be non-negative")
@@ -183,6 +188,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "K/M/G suffixes allowed (default: unlimited)")
     serve.add_argument("--admission", default="queue", choices=ADMISSION_POLICIES,
                        help="what happens to requests that do not fit the budget")
+    serve.add_argument("--faults", default=None, metavar="SPEC",
+                       help="inject faults while serving: semicolon-separated "
+                            "kind[@super][:key=value,...] entries, e.g. "
+                            "'device-loss@3:device=1;transfer-flaky:p=0.05' "
+                            "(kinds: device-loss, transfer-flaky, "
+                            "memory-pressure, interconnect-degrade)")
+    serve.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed of the fault injector's random stream")
+    serve.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                       help="default latency SLA applied to requests without one")
+    serve.add_argument("--enforce-deadlines", action="store_true",
+                       help="cancel queries that exceed their deadline mid-run "
+                            "instead of only recording the SLA miss")
     _add_cache_arguments(serve)
     return parser
 
@@ -236,17 +254,26 @@ def _cache_kwargs(args: argparse.Namespace) -> dict:
 
 def _service_for(args: argparse.Namespace, system_name: str, workload) -> GraphService:
     """One GraphService over the workload's graph/config (adapter plumbing)."""
-    config = ServiceConfig(
-        system=system_name,
-        dataset=args.dataset,
-        scale=args.scale,
-        gpu=args.gpu,
-        devices=args.devices,
-        interconnect=getattr(args, "interconnect", None),
-        scheduling=getattr(args, "scheduling", "priority"),
-        admission_budget_bytes=getattr(args, "budget", None),
-        admission_policy=getattr(args, "admission", "queue"),
-    )
+    try:
+        config = ServiceConfig(
+            system=system_name,
+            dataset=args.dataset,
+            scale=args.scale,
+            gpu=args.gpu,
+            devices=args.devices,
+            interconnect=getattr(args, "interconnect", None),
+            scheduling=getattr(args, "scheduling", "priority"),
+            admission_budget_bytes=getattr(args, "budget", None),
+            admission_policy=getattr(args, "admission", "queue"),
+            faults=getattr(args, "faults", None),
+            chaos_seed=getattr(args, "chaos_seed", 0),
+            deadline_s=getattr(args, "deadline", None),
+            enforce_deadlines=getattr(args, "enforce_deadlines", False),
+        )
+    except ValueError as error:
+        # Bad --faults specs / --deadline values are user input: one
+        # clean error instead of a dataclass traceback.
+        raise SystemExit(str(error))
     return GraphService.for_workload(workload, system_name, config=config, **_cache_kwargs(args))
 
 
@@ -497,6 +524,35 @@ def _cmd_serve(args: argparse.Namespace) -> str:
                 stats.deadline_met, stats.deadline_missed, 100.0 * stats.deadline_attainment,
             )
         )
+    if args.faults is not None:
+        health = service.device_health()
+        lines.append(
+            "faults: %d injected, %d transfer retries (%.6f s retry time); "
+            "%d failed, %d cancelled" % (
+                stats.faults_injected, stats.retries, stats.retry_time_s,
+                stats.failed, stats.cancelled,
+            )
+        )
+        lines.append(
+            "recovery: %.6f s checkpointing, %.6f s restoring; circuit breaker %s "
+            "(%d trip(s))" % (
+                stats.checkpoint_time_s, stats.recovery_time_s,
+                "OPEN" if stats.breaker_open else "closed", stats.breaker_trips,
+            )
+        )
+        lines.append(
+            "devices: %d of %d alive%s%s" % (
+                health["alive"], health["configured"],
+                ", lost: %s" % health["lost"] if health["lost"] else "",
+                " (host fallback)" if health["host_fallback"] else "",
+            )
+        )
+        for handle in handles:
+            if handle.status in (RequestStatus.FAILED, RequestStatus.CANCELLED):
+                label = handle.request.label or "request-%d" % handle.request_id
+                lines.append(
+                    "  %s %s: %s" % (handle.status.value, label, handle.fault_cause)
+                )
     rows = stats.class_rows()
     table = format_table(rows, title="Per-class service latency") if rows else ""
     return "\n".join(lines) + "\n" + table

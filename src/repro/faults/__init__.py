@@ -1,0 +1,37 @@
+"""Fault injection and recovery for the simulated serving stack.
+
+The failure model every later scaling feature builds on:
+
+* :class:`~repro.faults.spec.FaultSpec` /
+  :class:`~repro.faults.spec.FaultSchedule` — typed, seed-deterministic
+  descriptions of what goes wrong (device loss, transient transfer
+  faults, memory pressure, interconnect degradation);
+* :class:`~repro.faults.spec.RetryPolicy` — exponential-backoff retries
+  for transient transfer faults, billed into the simulated timeline;
+* :class:`~repro.faults.injector.FaultInjector` — interprets a schedule
+  at super-iteration and task boundaries;
+* :class:`~repro.faults.checkpoint.QueryCheckpoint` — per-query state
+  snapshots the runner restores from on permanent faults;
+* :class:`~repro.faults.breaker.CircuitBreaker` — sheds BULK work under
+  repeated faults.
+
+The invariant the whole subsystem is built around: faults perturb
+*time, placement and residency*, never vertex-program semantics — every
+query that survives (with retries, rollback/re-execution, re-sharding
+or host fallback) returns values bitwise identical to a fault-free run.
+"""
+
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.checkpoint import QueryCheckpoint
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import FaultKind, FaultSchedule, FaultSpec, RetryPolicy
+
+__all__ = [
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+    "FaultSpec",
+    "QueryCheckpoint",
+    "RetryPolicy",
+]

@@ -1,0 +1,61 @@
+"""Circuit breaker shedding BULK work under repeated faults.
+
+When waves keep hitting faults, continuing to admit heavy analytical
+work makes every failure mode worse: BULK queries hold the session for
+many super-iterations, widening the window for the next fault and
+starving the INTERACTIVE traffic the service exists to protect.  The
+:class:`CircuitBreaker` counts consecutive faulty waves; once
+``threshold`` is reached it *opens* and the
+:class:`~repro.service.GraphService` sheds queued BULK requests (typed
+``QueryFailed``, never silently dropped) while still serving the
+cheaper classes.  After ``cooldown`` consecutive clean waves the
+breaker closes again and BULK admission resumes.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Consecutive-faulty-wave breaker (open = shed BULK work)."""
+
+    def __init__(self, threshold: int = 3, cooldown: int = 1):
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        if cooldown < 1:
+            raise ValueError("cooldown must be at least 1")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._faulty_streak = 0
+        self._clean_streak = 0
+        self._open = False
+        #: How many times the breaker tripped (monotonic).
+        self.trips = 0
+
+    @property
+    def open(self) -> bool:
+        """Whether BULK work is currently shed."""
+        return self._open
+
+    def record(self, faults: int) -> None:
+        """Fold one served wave's injected-fault count into the state."""
+        if faults > 0:
+            self._clean_streak = 0
+            self._faulty_streak += 1
+            if not self._open and self._faulty_streak >= self.threshold:
+                self._open = True
+                self.trips += 1
+        else:
+            self._faulty_streak = 0
+            if self._open:
+                self._clean_streak += 1
+                if self._clean_streak >= self.cooldown:
+                    self._open = False
+                    self._clean_streak = 0
+
+    def reset(self) -> None:
+        """Back to closed with no history."""
+        self._faulty_streak = 0
+        self._clean_streak = 0
+        self._open = False

@@ -253,6 +253,14 @@ class BatchResult:
         co-schedules plus its planning overheads (see
         :mod:`repro.runtime.batch`).  Empty for results built outside
         the batch runner.
+    faults_injected / retries / retry_time_s:
+        Fault-injection accounting (all zero without an injector):
+        faults the injector applied, transient-transfer re-sends, and
+        the retry + backoff seconds billed into the timeline.
+    checkpoint_time_s / recovery_time_s / recovered_super_iterations:
+        Recovery accounting: seconds spent writing checkpoints, seconds
+        spent restoring from them, and super-iterations of work rolled
+        back and re-executed after device losses.
     """
 
     system: str
@@ -266,6 +274,12 @@ class BatchResult:
     cache_miss_bytes: int = 0
     cache_evicted_bytes: int = 0
     latencies: list[float] = field(default_factory=list)
+    faults_injected: int = 0
+    retries: int = 0
+    retry_time_s: float = 0.0
+    checkpoint_time_s: float = 0.0
+    recovery_time_s: float = 0.0
+    recovered_super_iterations: int = 0
     extra: dict[str, object] = field(default_factory=dict)
 
     #: Simulated times at or below this are treated as degenerate when
@@ -287,6 +301,20 @@ class BatchResult:
         if self.makespan <= self.ZERO_TIME_EPS:
             return 0.0
         return self.num_queries / self.makespan
+
+    @property
+    def failed_queries(self) -> int:
+        """Queries that ended in a terminal fault (permanent failure)."""
+        return sum(
+            1 for result in self.results if result.extra.get("fault_status") == "failed"
+        )
+
+    @property
+    def cancelled_queries(self) -> int:
+        """Queries cancelled by deadline enforcement."""
+        return sum(
+            1 for result in self.results if result.extra.get("fault_status") == "cancelled"
+        )
 
     @property
     def total_transfer_bytes(self) -> int:

@@ -151,6 +151,9 @@ class QueryBatchRunner:
         self,
         queries: Sequence[tuple[VertexProgram, int | None]],
         priorities: Sequence[float] | None = None,
+        injector=None,
+        deadlines: Sequence[float | None] | None = None,
+        checkpoint_interval: int = 1,
     ) -> BatchResult:
         """Execute ``queries`` (program, source) pairs as one batch.
 
@@ -159,6 +162,21 @@ class QueryBatchRunner:
         stream task of a higher class is scheduled before any task of a
         lower class.  ``None`` — or all-equal ranks — reproduces the
         historical FIFO co-schedule bitwise.
+
+        ``injector`` (a :class:`~repro.faults.injector.FaultInjector`)
+        turns on fault injection and checkpoint/recovery: query state is
+        checkpointed every ``checkpoint_interval`` super-iterations
+        (checkpoint copies billed into the timeline), device losses roll
+        every live query back to its last checkpoint and re-execute
+        (bitwise-identical values — semantics are device-agnostic),
+        transient transfer faults retry with their backoff billed into
+        the co-schedule, and a transfer that exhausts its retry policy
+        fails the owning query terminally (``fault_status`` /
+        ``fault_cause`` / ``fault_attempts`` in its result extras).
+
+        ``deadlines`` (one per query, ``None`` = no deadline, seconds of
+        accumulated service latency) cancels queries whose clock exceeds
+        their deadline at a super-iteration boundary.
         """
         if not queries:
             raise ValueError("a batch needs at least one query")
@@ -166,6 +184,12 @@ class QueryBatchRunner:
             raise ValueError(
                 "got %d priorities for %d queries" % (len(priorities), len(queries))
             )
+        if deadlines is not None and len(deadlines) != len(queries):
+            raise ValueError(
+                "got %d deadlines for %d queries" % (len(deadlines), len(queries))
+            )
+        if checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be at least 1")
         system = self.system
         context = system.context
         driver = system.driver
@@ -195,15 +219,48 @@ class QueryBatchRunner:
         makespan = 0.0
         super_iterations = 0
         clocks = [0.0] * len(sessions)
+        #: query index -> terminal fault record ("failed"/"cancelled").
+        terminal: dict[int, dict] = {}
+        checkpoints: list = [None] * len(sessions)
+        checkpoint_time = 0.0
+        recovery_time = 0.0
+        recovered_supers = 0
+        if injector is not None:
+            faults_before = injector.faults_injected
+            retries_before = injector.retries
+            retry_time_before = injector.retry_time_s
+            # Submit-time checkpoints are free: the query state still
+            # lives host-side, nothing has to cross PCIe to save it.
+            checkpoints = [driver.capture_checkpoint(session) for session in sessions]
         while True:
             live = [
                 index
                 for index, session in enumerate(sessions)
-                if session.live and session.iteration < self.max_iterations
+                if index not in terminal
+                and session.live
+                and session.iteration < self.max_iterations
             ]
             if not live:
                 break
             live.sort(key=order_key)
+            if injector is not None:
+                lost = injector.begin_super_iteration(context)
+                if lost:
+                    # Rollback/re-execution recovery: every live query
+                    # returns to its last checkpoint (restore copies
+                    # billed), then replays the lost super-iterations on
+                    # the re-sharded survivors (or the host).  Values
+                    # stay bitwise identical — semantics never depended
+                    # on the device count.
+                    for index in live:
+                        checkpoint = checkpoints[index]
+                        recovered_supers += max(
+                            0, sessions[index].iteration - checkpoint.iteration
+                        )
+                        cost = driver.restore_checkpoint(sessions[index], checkpoint)
+                        recovery_time += cost
+                        clocks[index] += cost
+                        makespan += cost
             shared.begin_super_iteration()
             if cache is not None:
                 # One cache observation window per super-iteration: the
@@ -237,16 +294,73 @@ class QueryBatchRunner:
                 session.result.iterations.append(driver.finish(plan))
                 session.iteration += 1
 
+            if injector is not None:
+                # Transient transfer faults: retries and backoff are
+                # folded into the merged tasks' transfer times before
+                # scheduling; exhausted retry policies fail the owning
+                # query terminally.
+                for query_index, attempts in injector.perturb_transfers(
+                    merged_tasks
+                ).items():
+                    terminal.setdefault(
+                        query_index,
+                        {
+                            "status": "failed",
+                            "cause": "transfer fault persisted through %d attempts"
+                            % attempts,
+                            "attempts": attempts,
+                        },
+                    )
+
             # Batch wall-clock: all live queries' tasks co-scheduled on the
             # shared devices, one boundary exchange for their merged deltas.
             timeline = context.schedule(merged_tasks, merged_sync)
             finish_times = self._per_query_finish(timeline)
+            scale = context.time_scale
             for index, plan in plans:
-                clocks[index] += finish_times.get(index, 0.0) + plan.overhead_time
-            makespan += timeline.makespan + overhead
+                clocks[index] += finish_times.get(index, 0.0) * scale + plan.overhead_time
+            makespan += timeline.makespan * scale + overhead
             super_iterations += 1
 
-        results = [system.finish_session(session) for session in sessions]
+            if deadlines is not None:
+                for index in live:
+                    deadline = deadlines[index]
+                    if index in terminal or deadline is None:
+                        continue
+                    if clocks[index] > deadline:
+                        terminal[index] = {
+                            "status": "cancelled",
+                            "cause": "deadline %.6f s exceeded at %.6f s"
+                            % (deadline, clocks[index]),
+                            "attempts": 0,
+                        }
+            if injector is not None and super_iterations % checkpoint_interval == 0:
+                # Boundary checkpoints: still-running queries snapshot
+                # their state; the device-to-host copy is billed.
+                for index in live:
+                    session = sessions[index]
+                    if index in terminal or not session.live:
+                        continue
+                    checkpoint = driver.capture_checkpoint(session)
+                    checkpoints[index] = checkpoint
+                    cost = checkpoint.transfer_seconds(context.config)
+                    checkpoint_time += cost
+                    clocks[index] += cost
+                    makespan += cost
+
+        results = []
+        for index, session in enumerate(sessions):
+            if index in terminal:
+                record = terminal[index]
+                result = session.result
+                result.converged = False
+                result.values = None
+                result.extra["fault_status"] = record["status"]
+                result.extra["fault_cause"] = record["cause"]
+                result.extra["fault_attempts"] = record["attempts"]
+                results.append(result)
+            else:
+                results.append(system.finish_session(session))
         for index, result in enumerate(results):
             result.extra["batch_latency_s"] = clocks[index]
             if priorities is not None:
@@ -257,6 +371,16 @@ class QueryBatchRunner:
                 ("hit_bytes", "miss_bytes", "evicted_bytes"), 0
             )
         )
+        fault_kwargs: dict = {}
+        if injector is not None:
+            fault_kwargs = {
+                "faults_injected": injector.faults_injected - faults_before,
+                "retries": injector.retries - retries_before,
+                "retry_time_s": injector.retry_time_s - retry_time_before,
+                "checkpoint_time_s": checkpoint_time,
+                "recovery_time_s": recovery_time,
+                "recovered_super_iterations": recovered_supers,
+            }
         return BatchResult(
             system=first.system,
             algorithm=first.algorithm,
@@ -274,7 +398,17 @@ class QueryBatchRunner:
                 "resident_partitions": context.num_resident_partitions,
                 "cache_policy": context.cache_policy,
                 "scheduling": "fifo" if priorities is None else "priority",
+                **(
+                    {
+                        "fault_events": list(injector.events),
+                        "lost_devices": list(context.lost_devices),
+                        "host_fallback": context.host_fallback,
+                    }
+                    if injector is not None
+                    else {}
+                ),
             },
+            **fault_kwargs,
         )
 
     # ------------------------------------------------------------------

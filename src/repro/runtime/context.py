@@ -66,6 +66,9 @@ class MultiDeviceScheduler:
             raise ValueError("num_devices must be at least 1")
         #: One stream scheduler per device, as on real multi-GPU hosts.
         self.device_schedulers = [StreamScheduler(config) for _ in range(self.num_devices)]
+        #: Multiplicative boundary-exchange slowdown (>= 1; the fault
+        #: injector's ``interconnect-degrade`` raises it mid-run).
+        self.interconnect_slowdown = 1.0
 
     # ------------------------------------------------------------------
     # Boundary synchronisation
@@ -80,7 +83,9 @@ class MultiDeviceScheduler:
         if self.num_devices <= 1:
             return 0.0
         busiest = max(sync_bytes_per_device, default=0) if sync_bytes_per_device else 0
-        return self.config.interconnect_latency + busiest / self.config.interconnect_bandwidth
+        return self.interconnect_slowdown * (
+            self.config.interconnect_latency + busiest / self.config.interconnect_bandwidth
+        )
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -191,6 +196,14 @@ class ExecutionContext:
             )
         self.scheduler = MultiDeviceScheduler(config)
         self.kernel_model = KernelModel(config)
+        #: Devices lost to injected faults, in loss order.
+        self.lost_devices: list[int] = []
+        #: Set when the last device died and execution degraded to the
+        #: host CPU (the final fallback rung: queries survive, slowly).
+        self.host_fallback = False
+        #: Multiplier applied to scheduled makespans (1.0 normally; the
+        #: GPU/CPU edge-throughput ratio under host fallback).
+        self.time_scale = 1.0
 
     @property
     def is_multi_device(self) -> bool:
@@ -222,6 +235,59 @@ class ExecutionContext:
         """Forget cross-run cache state (residency flags, adaptive contents)."""
         if self.cache is not None:
             self.cache.reset()
+
+    # ------------------------------------------------------------------
+    # Degraded modes (fault recovery)
+    # ------------------------------------------------------------------
+    def lose_device(self, device: int) -> None:
+        """Permanently remove one device; re-shard onto the survivors.
+
+        The lost shard's partitions are remapped by rebuilding the
+        byte-balanced contiguous sharding over the surviving device
+        count; the cache manager is re-sharded **in place** (callers
+        keep their reference) with all residency invalidated — the lost
+        device's memory is gone, and the survivors' contents no longer
+        match their new shards.  Losing the last device degrades to
+        host fallback: the session keeps executing with kernels priced
+        at CPU edge throughput and no device cache.
+        """
+        if self.host_fallback:
+            raise RuntimeError("no device left to lose: session already runs on the host")
+        if not 0 <= device < self.num_devices:
+            raise ValueError(
+                "device %d outside the %d live device(s)" % (device, self.num_devices)
+            )
+        self.lost_devices.append(device)
+        survivors = self.num_devices - 1
+        if survivors == 0:
+            self.host_fallback = True
+            self.time_scale = self.config.gpu_edge_throughput / self.config.cpu_edge_throughput
+            if self.cache is not None:
+                self.cache.invalidate()
+                self.cache.set_budget(0)
+            return
+        self.num_devices = survivors
+        self.sharding = ShardedPartitioning(self.partitioning, survivors)
+        slowdown = self.scheduler.interconnect_slowdown
+        self.scheduler = MultiDeviceScheduler(self.config, num_devices=survivors)
+        self.scheduler.interconnect_slowdown = slowdown
+        if self.cache is not None:
+            self.cache.reshard(self.sharding)
+
+    def shrink_cache_budget(self, factor: float) -> None:
+        """Mid-run memory pressure: scale the per-device cache budget.
+
+        Silently a no-op on cacheless sessions (there is no budget to
+        squeeze; the kernels already re-ship everything every iteration).
+        """
+        if self.cache is not None:
+            self.cache.shrink_budget(factor)
+
+    def degrade_interconnect(self, factor: float) -> None:
+        """Slow the boundary exchange down by ``factor`` (>= 1)."""
+        if factor < 1.0:
+            raise ValueError("interconnect degradation factor must be >= 1")
+        self.scheduler.interconnect_slowdown *= factor
 
     # ------------------------------------------------------------------
     # Frontier topology helpers

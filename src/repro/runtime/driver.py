@@ -199,12 +199,25 @@ class IterationDriver:
         sync_bytes = self.context.sync_bytes(plan.remote_updates)
         timeline = self.context.schedule(plan.device_tasks, sync_bytes)
         stats = plan.stats
-        stats.time = timeline.makespan + plan.overhead_time
+        stats.time = timeline.makespan * self.context.time_scale + plan.overhead_time
         for resource in plan.busy_fields:
             setattr(stats, _BUSY_FIELDS[resource], timeline.busy_time(resource))
         stats.interconnect_bytes = int(sum(sync_bytes))
         stats.sync_time = timeline.sync_time
         return stats
+
+    # ------------------------------------------------------------------
+    # Checkpointing (fault recovery)
+    # ------------------------------------------------------------------
+    def capture_checkpoint(self, session: QuerySession):
+        """Snapshot one query's state (values + frontier + residency)."""
+        from repro.faults.checkpoint import QueryCheckpoint
+
+        return QueryCheckpoint.capture(session, cache=self.context.cache)
+
+    def restore_checkpoint(self, session: QuerySession, checkpoint) -> float:
+        """Roll a query back; return the billed restore-transfer seconds."""
+        return checkpoint.restore(session, config=self.context.config)
 
     def drive(self, planner, session: QuerySession, max_iterations: int) -> QuerySession:
         """Run ``planner`` to convergence (or the iteration bound).

@@ -27,6 +27,7 @@ from repro.service.config import ServiceConfig
 from repro.service.core import GraphService
 from repro.service.request import (
     Priority,
+    QueryFailed,
     QueryHandle,
     QueryRequest,
     RequestRejected,
@@ -40,6 +41,7 @@ __all__ = [
     "AdmissionController",
     "GraphService",
     "Priority",
+    "QueryFailed",
     "QueryHandle",
     "QueryRequest",
     "RequestRejected",

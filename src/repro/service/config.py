@@ -10,8 +10,10 @@ discipline, admission budget) layered on top.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.cache.policy import CACHE_POLICIES
+from repro.faults import FaultSchedule, RetryPolicy
 from repro.systems import SYSTEMS
 
 __all__ = ["ServiceConfig", "SCHEDULING_POLICIES", "ADMISSION_POLICIES"]
@@ -56,6 +58,30 @@ class ServiceConfig:
     #: refuses them outright (hard back-pressure).
     admission_policy: str = "queue"
     max_iterations: int | None = None
+    # --- faults and recovery ---------------------------------------------
+    #: Default latency SLA applied to requests that carry none
+    #: (``None`` = no default; must be positive when set).
+    deadline_s: float | None = None
+    #: When True, a query whose accumulated latency exceeds its
+    #: (request or default) deadline is cancelled mid-run instead of
+    #: merely recorded as an SLA miss.
+    enforce_deadlines: bool = False
+    #: Retry policy for transient transfer faults.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Fault schedule to inject (a :class:`FaultSchedule`, a spec string
+    #: such as ``"device-loss@3:device=1;transfer-flaky:p=0.05"``, or
+    #: ``None`` for fault-free serving).
+    faults: FaultSchedule | str | None = None
+    #: Seed of the injector's random stream (applied when ``faults`` is
+    #: given as a spec string).
+    chaos_seed: int = 0
+    #: Checkpoint query state every this many super-iterations.
+    checkpoint_interval: int = 1
+    #: Consecutive faulty waves before the circuit breaker opens and
+    #: queued BULK work is shed.
+    breaker_threshold: int = 3
+    #: Consecutive clean waves before an open breaker closes again.
+    breaker_cooldown: int = 1
 
     def __post_init__(self):
         if self.system.lower() not in SYSTEMS:
@@ -73,10 +99,27 @@ class ServiceConfig:
                 "unknown admission policy %r; pick one of: %s"
                 % (self.admission_policy, ", ".join(ADMISSION_POLICIES))
             )
+        if self.cache_policy.lower() not in CACHE_POLICIES:
+            raise ValueError(
+                "unknown cache policy %r; pick one of: %s"
+                % (self.cache_policy, ", ".join(sorted(CACHE_POLICIES)))
+            )
         if self.admission_budget_bytes is not None and self.admission_budget_bytes < 0:
             raise ValueError("admission_budget_bytes must be non-negative")
         if self.devices < 1:
             raise ValueError("devices must be at least 1")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (omit it for no deadline)")
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be at least 1")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be at least 1")
+        if self.breaker_cooldown < 1:
+            raise ValueError("breaker_cooldown must be at least 1")
+        if isinstance(self.faults, str):
+            object.__setattr__(
+                self, "faults", FaultSchedule.parse(self.faults, seed=self.chaos_seed)
+            )
 
     def system_kwargs(self) -> dict:
         """Constructor kwargs for ``make_system`` from the cache knobs."""

@@ -34,6 +34,7 @@ from typing import Sequence
 
 from repro.algorithms import make_algorithm
 from repro.algorithms.base import VertexProgram
+from repro.faults import CircuitBreaker, FaultInjector
 from repro.metrics.results import BatchResult, RunResult
 from repro.runtime.batch import QueryBatchRunner
 from repro.service.admission import AdmissionController
@@ -88,6 +89,18 @@ class GraphService:
         self._batches: list[BatchResult] = []
         #: Simulated clock: accumulated makespan of the served waves.
         self._clock_s = 0.0
+        #: Sheds queued BULK work after repeated faulty waves.
+        self.breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            cooldown=self.config.breaker_cooldown,
+        )
+        #: One injector for the service lifetime (``@k`` fault offsets
+        #: count super-iterations across all waves); ``None`` fault-free.
+        self._injector = (
+            FaultInjector(self.config.faults, retry=self.config.retry)
+            if self.config.faults is not None
+            else None
+        )
         #: Lazily computed: whether the service graph is symmetric
         #: (gates programs with ``needs_symmetric``, e.g. CC).
         self._graph_symmetric: bool | None = None
@@ -266,6 +279,10 @@ class GraphService:
         served: list[BatchResult] = []
         prioritized = self.config.scheduling == "priority"
         while self._queue:
+            if self.breaker.open:
+                self._shed_bulk()
+                if not self._queue:
+                    break
             if prioritized:
                 self._queue.sort(key=lambda handle: (handle.request.priority, handle.request_id))
             wave = self.admission.take_wave(self._queue)
@@ -277,19 +294,110 @@ class GraphService:
             priorities = (
                 [int(handle.request.priority) for handle in wave] if prioritized else None
             )
-            batch = self.runner.run(queries, priorities=priorities)
+            deadlines = self._wave_deadlines(wave)
+            batch = self.runner.run(
+                queries,
+                priorities=priorities,
+                injector=self._injector,
+                deadlines=deadlines,
+                checkpoint_interval=self.config.checkpoint_interval,
+            )
             for handle, result, latency in zip(wave, batch.results, batch.latencies):
-                handle.status = RequestStatus.DONE
                 handle.latency_s = self._clock_s + latency
                 handle._result = result
                 result.extra["service_latency_s"] = handle.latency_s
-                if handle.request.deadline_s is not None:
-                    handle.deadline_met = handle.latency_s <= handle.request.deadline_s
+                fault_status = result.extra.get("fault_status")
+                if fault_status == "failed":
+                    handle.status = RequestStatus.FAILED
+                    handle.fault_cause = result.extra.get("fault_cause")
+                    handle.attempts = int(result.extra.get("fault_attempts", 0))
+                elif fault_status == "cancelled":
+                    handle.status = RequestStatus.CANCELLED
+                    handle.fault_cause = result.extra.get("fault_cause")
+                    handle.deadline_met = False
+                else:
+                    handle.status = RequestStatus.DONE
+                    deadline = self._deadline_of(handle)
+                    if deadline is not None:
+                        handle.deadline_met = handle.latency_s <= deadline
             self._clock_s += batch.makespan
             self.admission.release(wave)
+            self.breaker.record(batch.faults_injected)
             self._batches.append(batch)
             served.append(batch)
         return served
+
+    def _deadline_of(self, handle: QueryHandle) -> float | None:
+        """The request's deadline, falling back to the config default."""
+        if handle.request.deadline_s is not None:
+            return handle.request.deadline_s
+        return self.config.deadline_s
+
+    def _wave_deadlines(self, wave: Sequence[QueryHandle]) -> list[float | None] | None:
+        """Per-query in-wave latency budgets for runtime cancellation.
+
+        A handle's deadline is measured on its service latency (queue
+        wait included), so the budget handed to the runner is what
+        remains after the clock already spent waiting.  ``None`` unless
+        deadline enforcement is on and some handle carries a deadline.
+        """
+        if not self.config.enforce_deadlines:
+            return None
+        deadlines = [
+            None if deadline is None else deadline - self._clock_s
+            for deadline in (self._deadline_of(handle) for handle in wave)
+        ]
+        if all(deadline is None for deadline in deadlines):
+            return None
+        return deadlines
+
+    def _shed_bulk(self) -> None:
+        """Fail queued BULK requests while the circuit breaker is open.
+
+        Typed failure, never a silent drop: the handles move to FAILED
+        with the breaker named as the cause, and their admission
+        reservations are returned to the budget.
+        """
+        shed = [
+            handle
+            for handle in self._queue
+            if handle.request.priority is Priority.BULK
+        ]
+        if not shed:
+            return
+        self._queue = [
+            handle
+            for handle in self._queue
+            if handle.request.priority is not Priority.BULK
+        ]
+        for handle in shed:
+            handle.status = RequestStatus.FAILED
+            handle.fault_cause = (
+                "circuit breaker open after %d consecutive faulty wave(s); "
+                "BULK work shed" % self.breaker.threshold
+            )
+        self.admission.release(shed)
+
+    def device_health(self) -> dict[str, object]:
+        """Health view of the serving session's devices.
+
+        Reports how many of the configured devices survive, which were
+        lost (indices as numbered at loss time — survivors renumber
+        densely after each loss), per-device fault counts from the
+        injector, and whether execution degraded to the host.
+        """
+        context = self.system.context
+        return {
+            "configured": context.config.num_devices,
+            "alive": 0 if context.host_fallback else context.num_devices,
+            "lost": list(context.lost_devices),
+            "host_fallback": context.host_fallback,
+            "faults_by_device": dict(
+                self._injector.device_faults if self._injector is not None else {}
+            ),
+            "breaker_open": self.breaker.open,
+            "breaker_trips": self.breaker.trips,
+        }
 
     def run(self, request: QueryRequest) -> RunResult:
         """Submit one request and serve the queue to completion.
@@ -325,11 +433,26 @@ class GraphService:
                 sum(batch.total_transfer_bytes for batch in self._batches)
             ),
         )
+        for batch in self._batches:
+            stats.faults_injected += batch.faults_injected
+            stats.retries += batch.retries
+            stats.retry_time_s += batch.retry_time_s
+            stats.checkpoint_time_s += batch.checkpoint_time_s
+            stats.recovery_time_s += batch.recovery_time_s
+        stats.breaker_open = self.breaker.open
+        stats.breaker_trips = self.breaker.trips
         for handle in self._handles:
             if handle.status is RequestStatus.REJECTED:
                 stats.rejected += 1
                 continue
             stats.admitted += 1
+            if handle.status is RequestStatus.FAILED:
+                stats.failed += 1
+                continue
+            if handle.status is RequestStatus.CANCELLED:
+                stats.cancelled += 1
+                stats.deadline_missed += 1
+                continue
             if handle.status is not RequestStatus.DONE:
                 continue
             stats.completed += 1

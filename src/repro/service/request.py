@@ -11,6 +11,13 @@ a :class:`QueryHandle` that walks the request lifecycle::
 
 Handles are poll-based: :meth:`QueryHandle.poll` never executes anything,
 :meth:`QueryHandle.result` drains the service's queue on demand.
+
+Under fault injection two more terminal states exist: ``FAILED`` (a
+fault persisted through the retry policy, or the circuit breaker shed
+the request) and ``CANCELLED`` (deadline enforcement).  Demanding such a
+request's result raises :class:`QueryFailed` carrying the fault cause
+and the attempt count, mirroring how :class:`RequestRejected` surfaces
+admission refusals.
 """
 
 from __future__ import annotations
@@ -20,7 +27,14 @@ from enum import Enum, IntEnum
 
 from repro.metrics.results import RunResult
 
-__all__ = ["Priority", "QueryRequest", "RequestStatus", "QueryHandle", "RequestRejected"]
+__all__ = [
+    "Priority",
+    "QueryRequest",
+    "RequestStatus",
+    "QueryHandle",
+    "RequestRejected",
+    "QueryFailed",
+]
 
 
 class Priority(IntEnum):
@@ -103,10 +117,34 @@ class RequestStatus(Enum):
     RUNNING = "running"
     #: Finished; the result is available (terminal).
     DONE = "done"
+    #: A fault persisted through recovery, or the circuit breaker shed
+    #: the request (terminal; see ``fault_cause``).
+    FAILED = "failed"
+    #: Deadline enforcement cancelled the query mid-run (terminal).
+    CANCELLED = "cancelled"
 
 
 class RequestRejected(RuntimeError):
     """Raised when a rejected request's result is demanded."""
+
+
+class QueryFailed(RuntimeError):
+    """Raised when a failed or cancelled request's result is demanded.
+
+    Attributes
+    ----------
+    cause:
+        The fault cause recorded by the runtime (e.g. ``"transfer fault
+        persisted through 4 attempts"`` or a deadline message).
+    attempts:
+        Transfer attempts of the fatal fault (0 for cancellations and
+        breaker sheds).
+    """
+
+    def __init__(self, message: str, cause: str | None = None, attempts: int = 0):
+        super().__init__(message)
+        self.cause = cause
+        self.attempts = attempts
 
 
 @dataclass
@@ -126,6 +164,10 @@ class QueryHandle:
     latency_s: float | None = None
     #: SLA outcome (``None`` when the request carried no deadline).
     deadline_met: bool | None = None
+    #: Why the request FAILED / was CANCELLED (``None`` otherwise).
+    fault_cause: str | None = None
+    #: Transfer attempts of the fatal fault (0 unless FAILED on one).
+    attempts: int = 0
     _service: object | None = field(default=None, repr=False)
     #: The resolved (program, source) pair the service will execute.
     _query: tuple | None = field(default=None, repr=False)
@@ -134,7 +176,12 @@ class QueryHandle:
     @property
     def done(self) -> bool:
         """Whether the request reached a terminal state."""
-        return self.status in (RequestStatus.DONE, RequestStatus.REJECTED)
+        return self.status in (
+            RequestStatus.DONE,
+            RequestStatus.REJECTED,
+            RequestStatus.FAILED,
+            RequestStatus.CANCELLED,
+        )
 
     def poll(self) -> RequestStatus:
         """Current lifecycle state; never triggers execution."""
@@ -146,13 +193,26 @@ class QueryHandle:
         ``wait=True`` (default) drains the owning service's queue until
         this request completes; ``wait=False`` returns ``None`` when the
         result is not ready yet.  Raises :class:`RequestRejected` for
-        requests refused by admission control.
+        requests refused by admission control and :class:`QueryFailed`
+        for requests that failed terminally or were cancelled.
         """
         if self.status is RequestStatus.REJECTED:
             raise RequestRejected(
                 "request %d (%s) was rejected: %s"
                 % (self.request_id, self.request.algorithm, self.reject_reason)
             )
-        if self._result is None and wait:
+        if self._result is None and not self.done and wait:
             self._service.drain()
+        if self.status in (RequestStatus.FAILED, RequestStatus.CANCELLED):
+            raise QueryFailed(
+                "request %d (%s) %s: %s"
+                % (
+                    self.request_id,
+                    self.request.algorithm,
+                    "failed" if self.status is RequestStatus.FAILED else "was cancelled",
+                    self.fault_cause,
+                ),
+                cause=self.fault_cause,
+                attempts=self.attempts,
+            )
         return self._result

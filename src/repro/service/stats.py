@@ -24,6 +24,11 @@ class ServiceStats:
     admitted: int = 0
     rejected: int = 0
     completed: int = 0
+    #: Admitted requests that ended in a terminal fault (permanent
+    #: transfer failure or circuit-breaker shed).
+    failed: int = 0
+    #: Admitted requests cancelled by deadline enforcement.
+    cancelled: int = 0
     #: Admitted requests still waiting for a scheduling wave.
     queued: int = 0
     #: Scheduling waves served so far.
@@ -34,6 +39,16 @@ class ServiceStats:
     deadline_met: int = 0
     deadline_missed: int = 0
     latencies_by_class: dict[Priority, list[float]] = field(default_factory=dict)
+    # --- fault/recovery accounting (all zero on fault-free services) ---
+    faults_injected: int = 0
+    retries: int = 0
+    retry_time_s: float = 0.0
+    checkpoint_time_s: float = 0.0
+    recovery_time_s: float = 0.0
+    #: Whether the circuit breaker is currently shedding BULK work.
+    breaker_open: bool = False
+    #: How many times the breaker tripped so far.
+    breaker_trips: int = 0
 
     # ------------------------------------------------------------------
     # Derived metrics
@@ -92,6 +107,8 @@ class ServiceStats:
             "admitted": self.admitted,
             "rejected": self.rejected,
             "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
             "queued": self.queued,
             "waves": self.waves,
             "makespan_s": self.makespan_s,
@@ -104,4 +121,11 @@ class ServiceStats:
                 priority.name.lower(): list(latencies)
                 for priority, latencies in self.latencies_by_class.items()
             },
+            "faults_injected": self.faults_injected,
+            "retries": self.retries,
+            "retry_time_s": self.retry_time_s,
+            "checkpoint_time_s": self.checkpoint_time_s,
+            "recovery_time_s": self.recovery_time_s,
+            "breaker_open": self.breaker_open,
+            "breaker_trips": self.breaker_trips,
         }

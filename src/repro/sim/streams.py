@@ -57,6 +57,10 @@ class StreamTask:
     priority:
         Lower value = scheduled earlier (contribution-driven scheduling
         sets this).
+    attempts:
+        How many sends the task's transfer took (1 = clean; >1 means the
+        fault injector drew transient failures and the retries/backoff
+        are already folded into ``transfer_time``).
     """
 
     name: str
@@ -66,6 +70,7 @@ class StreamTask:
     kernel_time: float = 0.0
     overlapped_transfer: bool = False
     priority: float = 0.0
+    attempts: int = 1
 
     @property
     def serial_time(self) -> float:

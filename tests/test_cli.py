@@ -172,6 +172,29 @@ class TestServeCommand:
         assert "2 rejected" in output
         assert "admission budget" in output
 
+    def test_serve_with_faults_reports_recovery(self, capsys):
+        code = main(["serve", "--dataset", "SK", "--scale", "0.05", "--devices", "2",
+                     "--point-lookups", "2", "--analytical", "1",
+                     "--faults", "device-loss@2:device=0;transfer-flaky:p=0.05",
+                     "--chaos-seed", "1"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "faults:" in output
+        assert "recovery:" in output
+        assert "devices: 1 of 2 alive" in output
+        assert "lost: [0]" in output
+
+    def test_serve_bad_fault_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--scale", "0.05", "--faults", "meltdown:p=1"])
+        assert "unknown fault kind" in str(excinfo.value)
+
+    def test_serve_deadline_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--deadline", "0.25", "--enforce-deadlines"])
+        assert args.deadline == 0.25
+        assert args.enforce_deadlines
+
     def test_serve_bad_trace_rejected(self, tmp_path):
         trace = tmp_path / "trace.json"
         trace.write_text("[]")
@@ -214,6 +237,20 @@ class TestCacheOptions:
             parse_byte_size("lots")
         with pytest.raises(argparse.ArgumentTypeError):
             parse_byte_size("-1")
+
+    def test_parse_byte_size_error_names_accepted_forms(self):
+        import argparse
+
+        from repro.cli import parse_byte_size
+
+        assert parse_byte_size("512k") == 512 * 1024
+        assert parse_byte_size("2g") == 2 * 1024**3
+        with pytest.raises(argparse.ArgumentTypeError) as excinfo:
+            parse_byte_size("3q")
+        message = str(excinfo.value)
+        assert "3q" in message
+        assert "K/M/G" in message
+        assert "either case" in message
 
     def test_run_with_adaptive_cache_reports_stats(self, capsys):
         code = main(["run", "--dataset", "SK", "--algorithm", "sssp", "--scale", "0.05",

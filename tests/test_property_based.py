@@ -5,8 +5,9 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.algorithms import reference
+from repro.algorithms import make_algorithm, reference
 from repro.algorithms.sssp import SSSP
+from repro.faults import QueryCheckpoint
 from repro.core.cost_model import CostModel
 from repro.core.selection import EngineSelector
 from repro.graph.csr import CSRGraph
@@ -227,3 +228,72 @@ def test_cost_model_non_negative_and_selection_total(data):
     active = costs.active_partitions()
     assert all(selection.choices[index] is not None for index in active)
     assert sum(selection.counts().values()) == active.size
+
+
+ALGORITHM_NAMES = ["bfs", "sssp", "cc", "pagerank", "php"]
+
+
+@COMMON_SETTINGS
+@given(edge_lists(), st.sampled_from(ALGORITHM_NAMES), st.integers(min_value=0, max_value=3))
+def test_checkpoint_restore_roundtrip_bitwise(data, algorithm, steps):
+    """capture → diverge/corrupt → restore is a bitwise roundtrip.
+
+    Holds for every algorithm's state layout on arbitrary graphs: the
+    checkpoint owns copies of the session arrays, so nothing the session
+    does afterwards — more iterations, outright corruption — leaks into
+    what restore brings back.
+    """
+    from repro.systems.hytgraph import HyTGraphSystem
+
+    num_vertices, edges, weights = data
+    graph = CSRGraph.from_edges(edges, num_vertices=num_vertices, weights=weights)
+    system = HyTGraphSystem(graph, HardwareConfig())
+    program = make_algorithm(algorithm)
+    source = 0 if program.needs_source else None
+    session = system.start_session(program, source)
+    driver = system.driver
+    for _ in range(steps):
+        if not session.pending.any():
+            break
+        plan = driver.plan(system, session)
+        session.result.iterations.append(driver.finish(plan))
+        session.iteration += 1
+
+    checkpoint = driver.capture_checkpoint(session)
+    assert isinstance(checkpoint, QueryCheckpoint)
+    assert checkpoint.checkpoint_bytes > 0
+    arrays = {key: value.copy() for key, value in session.state.arrays.items()}
+    pending = session.pending.copy()
+    iteration = session.iteration
+    records = len(session.result.iterations)
+
+    # Diverge: run further, then corrupt every array outright.
+    for _ in range(2):
+        if not session.pending.any():
+            break
+        plan = driver.plan(system, session)
+        session.result.iterations.append(driver.finish(plan))
+        session.iteration += 1
+    for value in session.state.arrays.values():
+        if value.dtype == bool:
+            value[:] = ~value
+        elif value.size:
+            value[:] = value[::-1].copy()
+    session.pending[:] = ~session.pending
+
+    cost = driver.restore_checkpoint(session, checkpoint)
+    assert cost >= 0.0
+    assert session.iteration == iteration
+    assert len(session.result.iterations) == records
+    np.testing.assert_array_equal(session.pending, pending)
+    assert session.state.arrays.keys() == arrays.keys()
+    for key, value in arrays.items():
+        restored = session.state.arrays[key]
+        assert restored.dtype == value.dtype
+        np.testing.assert_array_equal(restored, value)
+
+    # The checkpoint survives its own restore: a second rollback after
+    # further divergence lands on the same bits.
+    session.pending[:] = ~session.pending
+    driver.restore_checkpoint(session, checkpoint)
+    np.testing.assert_array_equal(session.pending, pending)
