@@ -43,12 +43,15 @@ from repro.graph.datasets import dataset_names, load_dataset
 from repro.graph.properties import summarize
 from repro.metrics.tables import format_table
 from repro.service import (
+    ARRIVAL_PROCESSES,
     GraphService,
     Priority,
     QueryRequest,
     RequestStatus,
     ServiceConfig,
+    load_trace_file,
     synthetic_mixed_trace,
+    timed_mixed_trace,
 )
 from repro.service.config import ADMISSION_POLICIES, SCHEDULING_POLICIES
 from repro.sim.config import INTERCONNECT_PRESETS
@@ -171,9 +174,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--interconnect", default=None, choices=sorted(INTERCONNECT_PRESETS),
                        help="inter-GPU link preset (default: nvlink)")
     serve.add_argument("--trace", type=Path, default=None, metavar="TRACE.json",
-                       help="JSON request trace: a list of objects with keys "
-                            "algorithm, source (optional), priority (optional), "
-                            "deadline_s (optional), label (optional)")
+                       help="request trace file (JSON list, or JSON Lines for "
+                            "large traces): objects with keys algorithm, source "
+                            "(optional), priority (optional), deadline_s "
+                            "(optional), label (optional), arrival_s (optional "
+                            "simulated arrival timestamp; all-or-none across "
+                            "the trace)")
     serve.add_argument("--point-lookups", type=int, default=8,
                        help="synthetic trace: interactive BFS point lookups "
                             "(used when --trace is not given)")
@@ -181,6 +187,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="synthetic trace: bulk PageRank analytical queries")
     serve.add_argument("--seed", type=int, default=17,
                        help="seed for the synthetic trace's lookup sources")
+    serve.add_argument("--arrivals", default=None, choices=ARRIVAL_PROCESSES,
+                       help="generate an arrival-stamped synthetic trace from "
+                            "this process instead of the t=0 mix (event-driven "
+                            "serving; --requests/--rate size it)")
+    serve.add_argument("--requests", type=int, default=64,
+                       help="arrival-stamped synthetic trace: request count")
+    serve.add_argument("--rate", type=float, default=None, metavar="PER_S",
+                       help="arrival-stamped synthetic trace: mean arrivals "
+                            "per simulated second (required with --arrivals)")
+    serve.add_argument("--preempt", action="store_true",
+                       help="let running BULK queries yield to newly arrived "
+                            "INTERACTIVE work at super-iteration boundaries "
+                            "(resumed from their checkpoints)")
     serve.add_argument("--scheduling", default="priority", choices=SCHEDULING_POLICIES,
                        help="wave scheduling discipline (fifo = historical co-schedule)")
     serve.add_argument("--budget", type=parse_byte_size, default=None, metavar="BYTES",
@@ -269,6 +288,7 @@ def _service_for(args: argparse.Namespace, system_name: str, workload) -> GraphS
             chaos_seed=getattr(args, "chaos_seed", 0),
             deadline_s=getattr(args, "deadline", None),
             enforce_deadlines=getattr(args, "enforce_deadlines", False),
+            preemption=getattr(args, "preempt", False),
         )
     except ValueError as error:
         # Bad --faults specs / --deadline values are user input: one
@@ -445,29 +465,29 @@ def _cmd_batch(args: argparse.Namespace) -> str:
 
 
 def _load_trace(args: argparse.Namespace, workload) -> list[QueryRequest]:
-    """The request trace to serve: a JSON file or the synthetic mix."""
+    """The request trace to serve: a file, an arrival process, or the t=0 mix."""
     if args.trace is not None:
         try:
-            entries = json.loads(args.trace.read_text())
-        except (OSError, json.JSONDecodeError) as error:
+            return load_trace_file(args.trace)
+        except OSError as error:
             raise SystemExit("cannot read trace %s: %s" % (args.trace, error))
-        if not isinstance(entries, list) or not entries:
-            raise SystemExit("trace %s must be a non-empty JSON list" % args.trace)
-        requests = []
-        for position, entry in enumerate(entries):
-            try:
-                requests.append(
-                    QueryRequest(
-                        algorithm=entry["algorithm"],
-                        source=entry.get("source"),
-                        priority=entry.get("priority", Priority.STANDARD),
-                        deadline_s=entry.get("deadline_s"),
-                        label=entry.get("label"),
-                    )
-                )
-            except (KeyError, TypeError, ValueError) as error:
-                raise SystemExit("bad trace entry #%d: %s" % (position, error))
-        return requests
+        except ValueError as error:
+            # Validation names the offending entry/line; keep it verbatim.
+            raise SystemExit("bad trace: %s" % error)
+    if args.arrivals is not None:
+        # Arrival-stamped synthetic mix: event-driven serving in
+        # simulated time rather than the everything-at-t=0 queue.
+        if args.rate is None or args.rate <= 0:
+            raise SystemExit("--arrivals needs a positive --rate (arrivals per second)")
+        if args.requests < 1:
+            raise SystemExit("--requests must be at least 1")
+        return list(
+            timed_mixed_trace(
+                workload.graph, args.requests, args.rate,
+                process=args.arrivals, seed=args.seed,
+                interactive_sla_s=args.deadline,
+            )
+        )
     # Synthetic mixed trace: cheap interactive point lookups arriving
     # *after* the heavy bulk analytics — the starvation scenario the
     # priority scheduler exists for.
@@ -508,6 +528,11 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             stats.makespan_s, stats.queries_per_second, stats.total_transfer_bytes / 1e6,
         ),
     ]
+    if stats.preemptions:
+        lines.append(
+            "preemption: %d BULK yield(s) to newly arrived interactive work"
+            % stats.preemptions
+        )
     if args.budget is not None:
         lines.append(
             "admission: budget %d bytes (%s policy), %d admitted, %d rejected" % (

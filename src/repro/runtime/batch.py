@@ -154,6 +154,9 @@ class QueryBatchRunner:
         injector=None,
         deadlines: Sequence[float | None] | None = None,
         checkpoint_interval: int = 1,
+        preemptible: Sequence[bool] | None = None,
+        should_preempt: Callable[[float], bool] | None = None,
+        resume: Sequence[object | None] | None = None,
     ) -> BatchResult:
         """Execute ``queries`` (program, source) pairs as one batch.
 
@@ -177,6 +180,21 @@ class QueryBatchRunner:
         ``deadlines`` (one per query, ``None`` = no deadline, seconds of
         accumulated service latency) cancels queries whose clock exceeds
         their deadline at a super-iteration boundary.
+
+        ``preemptible`` + ``should_preempt`` make the batch *yield*: at
+        every super-iteration boundary ``should_preempt`` is consulted
+        with the batch's elapsed makespan, and when it returns True every
+        still-live preemptible query is suspended — its state captured as
+        a :class:`~repro.faults.checkpoint.QueryCheckpoint` (the
+        device-to-host copy billed) and handed back through
+        ``extra["suspended"]`` — while non-preemptible queries run on to
+        completion.  A suspended query's result carries
+        ``extra["preempted"] = True`` and no values.  ``resume`` (one
+        checkpoint or ``None`` per query) restores a previously
+        suspended query's state before the first super-iteration, billing
+        the host-to-device copy; re-executed values stay bitwise equal to
+        an uninterrupted run because the vertex-program semantics never
+        depended on where the boundary fell.
         """
         if not queries:
             raise ValueError("a batch needs at least one query")
@@ -190,6 +208,14 @@ class QueryBatchRunner:
             )
         if checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be at least 1")
+        if preemptible is not None and len(preemptible) != len(queries):
+            raise ValueError(
+                "got %d preemptible flags for %d queries" % (len(preemptible), len(queries))
+            )
+        if resume is not None and len(resume) != len(queries):
+            raise ValueError(
+                "got %d resume checkpoints for %d queries" % (len(resume), len(queries))
+            )
         system = self.system
         context = system.context
         driver = system.driver
@@ -221,6 +247,20 @@ class QueryBatchRunner:
         clocks = [0.0] * len(sessions)
         #: query index -> terminal fault record ("failed"/"cancelled").
         terminal: dict[int, dict] = {}
+        #: query index -> suspension checkpoint (preempted this batch).
+        suspended: dict[int, object] = {}
+        preempt_capture_s = 0.0
+        resume_restore_s = 0.0
+        if resume is not None:
+            # Resumed queries pick up where their suspension checkpoint
+            # left off; the host-to-device state copy is billed up front.
+            for index, checkpoint in enumerate(resume):
+                if checkpoint is None:
+                    continue
+                cost = driver.restore_checkpoint(sessions[index], checkpoint)
+                resume_restore_s += cost
+                clocks[index] += cost
+                makespan += cost
         checkpoints: list = [None] * len(sessions)
         checkpoint_time = 0.0
         recovery_time = 0.0
@@ -237,11 +277,33 @@ class QueryBatchRunner:
                 index
                 for index, session in enumerate(sessions)
                 if index not in terminal
+                and index not in suspended
                 and session.live
                 and session.iteration < self.max_iterations
             ]
             if not live:
                 break
+            if (
+                should_preempt is not None
+                and preemptible is not None
+                and any(preemptible[index] for index in live)
+                and should_preempt(makespan)
+            ):
+                # Yield at the boundary: suspend every live preemptible
+                # query (checkpoint copy billed); the rest of the batch
+                # runs on without them.
+                for index in live:
+                    if not preemptible[index]:
+                        continue
+                    checkpoint = driver.capture_checkpoint(sessions[index])
+                    cost = checkpoint.transfer_seconds(context.config)
+                    preempt_capture_s += cost
+                    clocks[index] += cost
+                    makespan += cost
+                    suspended[index] = checkpoint
+                live = [index for index in live if index not in suspended]
+                if not live:
+                    break
             live.sort(key=order_key)
             if injector is not None:
                 lost = injector.begin_super_iteration(context)
@@ -271,10 +333,20 @@ class QueryBatchRunner:
 
             # Plan every live query's iteration (mutates its state and the
             # shared warm-transfer bookkeeping, in deterministic query
-            # order: priority rank first, then submission).
-            plans = [
-                (index, driver.plan(system, sessions[index], shared=shared)) for index in live
-            ]
+            # order: priority rank first, then submission).  When the
+            # cache enforces per-class budgets, each query's fills are
+            # tagged with its priority rank so BULK scans cannot displace
+            # the interactive working set.
+            classed_cache = (
+                cache is not None and cache.class_budgets and priorities is not None
+            )
+            plans = []
+            for index in live:
+                if classed_cache:
+                    cache.set_fill_class(ranks[index])
+                plans.append((index, driver.plan(system, sessions[index], shared=shared)))
+            if classed_cache:
+                cache.set_fill_class(None)
 
             merged_tasks = context.empty_device_lists()
             merged_sync = [0] * context.num_devices
@@ -359,6 +431,14 @@ class QueryBatchRunner:
                 result.extra["fault_cause"] = record["cause"]
                 result.extra["fault_attempts"] = record["attempts"]
                 results.append(result)
+            elif index in suspended:
+                # Suspended mid-run: no values yet — the caller resumes
+                # the query from its checkpoint in a later batch.
+                result = session.result
+                result.converged = False
+                result.values = None
+                result.extra["preempted"] = True
+                results.append(result)
             else:
                 results.append(system.finish_session(session))
         for index, result in enumerate(results):
@@ -398,6 +478,15 @@ class QueryBatchRunner:
                 "resident_partitions": context.num_resident_partitions,
                 "cache_policy": context.cache_policy,
                 "scheduling": "fifo" if priorities is None else "priority",
+                **(
+                    {
+                        "suspended": suspended,
+                        "preempt_capture_s": preempt_capture_s,
+                    }
+                    if suspended
+                    else {}
+                ),
+                **({"resume_restore_s": resume_restore_s} if resume_restore_s else {}),
                 **(
                     {
                         "fault_events": list(injector.events),

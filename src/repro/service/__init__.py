@@ -25,6 +25,7 @@ package.
 from repro.service.admission import AdmissionController
 from repro.service.config import ServiceConfig
 from repro.service.core import GraphService
+from repro.service.replay import ReplayHarness, ReplayReport
 from repro.service.request import (
     Priority,
     QueryFailed,
@@ -34,16 +35,30 @@ from repro.service.request import (
     RequestStatus,
 )
 from repro.service.stats import ServiceStats
-from repro.service.trace import synthetic_mixed_trace
+from repro.service.trace import (
+    ARRIVAL_PROCESSES,
+    arrival_times,
+    iter_arrival_times,
+    load_trace_file,
+    synthetic_mixed_trace,
+    timed_mixed_trace,
+)
 
 __all__ = [
+    "ARRIVAL_PROCESSES",
+    "arrival_times",
+    "iter_arrival_times",
+    "load_trace_file",
     "synthetic_mixed_trace",
+    "timed_mixed_trace",
     "AdmissionController",
     "GraphService",
     "Priority",
     "QueryFailed",
     "QueryHandle",
     "QueryRequest",
+    "ReplayHarness",
+    "ReplayReport",
     "RequestRejected",
     "RequestStatus",
     "ServiceConfig",

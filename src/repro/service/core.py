@@ -87,8 +87,21 @@ class GraphService:
         self._handles: list[QueryHandle] = []
         self._queue: list[QueryHandle] = []
         self._batches: list[BatchResult] = []
-        #: Simulated clock: accumulated makespan of the served waves.
+        self._next_request_id = 0
+        self._waves_served = 0
+        #: Simulated clock: accumulated makespan of the served waves
+        #: (plus idle jumps to the next arrival under event-driven
+        #: serving).
         self._clock_s = 0.0
+        if self.config.cache_class_budgets:
+            cache = self.system.context.cache
+            if cache is not None:
+                cache.set_class_budgets(
+                    {
+                        float(int(rank)): cap
+                        for rank, cap in self.config.cache_class_budgets.items()
+                    }
+                )
         #: Sheds queued BULK work after repeated faulty waves.
         self.breaker = CircuitBreaker(
             threshold=self.config.breaker_threshold,
@@ -218,11 +231,12 @@ class GraphService:
         estimate = self.admission.estimate_request_bytes(program, source)
         handle = QueryHandle(
             request=request,
-            request_id=len(self._handles),
+            request_id=self._next_request_id,
             estimated_bytes=estimate,
             _service=self,
             _query=(program, source),
         )
+        self._next_request_id += 1
         reason = self.admission.decide(estimate)
         if reason is not None:
             handle.status = RequestStatus.REJECTED
@@ -272,60 +286,163 @@ class GraphService:
         the admission controller splits off what fits its budget (in
         priority order under ``priority`` scheduling, submission order
         under ``fifo``), the batch runner co-schedules it, and each
-        request's latency is the service clock at its completion — queue
-        wait included, which is what the deadline SLAs are checked
-        against.
+        request's latency runs from its arrival timestamp to its
+        completion in the service clock — queue wait included, which is
+        what the deadline SLAs are checked against.
+
+        With arrival-stamped requests the queue drains *event-driven*:
+        a wave forms only over requests that have arrived by the
+        current clock (the clock jumps forward over idle gaps), and —
+        with :attr:`ServiceConfig.preemption` — a running BULK query
+        yields at super-iteration boundaries to INTERACTIVE work that
+        arrived mid-wave, resuming from its checkpoint in a later wave.
+        With every arrival at t=0 and preemption off this reduces
+        bitwise to the historical all-at-once wave behaviour.
         """
         served: list[BatchResult] = []
-        prioritized = self.config.scheduling == "priority"
-        while self._queue:
-            if self.breaker.open:
-                self._shed_bulk()
-                if not self._queue:
-                    break
-            if prioritized:
-                self._queue.sort(key=lambda handle: (handle.request.priority, handle.request_id))
-            wave = self.admission.take_wave(self._queue)
-            del self._queue[: len(wave)]
-            for handle in wave:
-                handle.status = RequestStatus.RUNNING
-                handle.wave = len(self._batches)
-            queries = [handle._query for handle in wave]
-            priorities = (
-                [int(handle.request.priority) for handle in wave] if prioritized else None
-            )
-            deadlines = self._wave_deadlines(wave)
-            batch = self.runner.run(
-                queries,
-                priorities=priorities,
-                injector=self._injector,
-                deadlines=deadlines,
-                checkpoint_interval=self.config.checkpoint_interval,
-            )
-            for handle, result, latency in zip(wave, batch.results, batch.latencies):
-                handle.latency_s = self._clock_s + latency
-                handle._result = result
-                result.extra["service_latency_s"] = handle.latency_s
-                fault_status = result.extra.get("fault_status")
-                if fault_status == "failed":
-                    handle.status = RequestStatus.FAILED
-                    handle.fault_cause = result.extra.get("fault_cause")
-                    handle.attempts = int(result.extra.get("fault_attempts", 0))
-                elif fault_status == "cancelled":
-                    handle.status = RequestStatus.CANCELLED
-                    handle.fault_cause = result.extra.get("fault_cause")
-                    handle.deadline_met = False
-                else:
-                    handle.status = RequestStatus.DONE
-                    deadline = self._deadline_of(handle)
-                    if deadline is not None:
-                        handle.deadline_met = handle.latency_s <= deadline
-            self._clock_s += batch.makespan
-            self.admission.release(wave)
-            self.breaker.record(batch.faults_injected)
-            self._batches.append(batch)
+        while True:
+            batch = self.step()
+            if batch is None:
+                return served
             served.append(batch)
-        return served
+
+    def step(self) -> BatchResult | None:
+        """Form and serve the next scheduling wave (``None`` when idle).
+
+        One wave: breaker shedding, arrival-gated wave formation,
+        admission, execution (with preemption/resume when configured),
+        then latency/SLA bookkeeping.  This is the granularity the
+        replay harness pumps — it lets a caller interleave submissions
+        with serving instead of draining to exhaustion.
+        """
+        if self.breaker.open:
+            self._shed_bulk()
+        if not self._queue:
+            return None
+        arrived = [handle for handle in self._queue if handle.arrival_s <= self._clock_s]
+        if not arrived:
+            # Idle period: jump the clock to the next arrival.
+            self._clock_s = min(handle.arrival_s for handle in self._queue)
+            arrived = [
+                handle for handle in self._queue if handle.arrival_s <= self._clock_s
+            ]
+        prioritized = self.config.scheduling == "priority"
+        if prioritized:
+            arrived.sort(key=lambda handle: (handle.request.priority, handle.request_id))
+        wave = self.admission.take_wave(arrived)
+        taken = {id(handle) for handle in wave}
+        self._queue = [handle for handle in self._queue if id(handle) not in taken]
+        wave_start = self._clock_s
+        wave_index = self._waves_served
+        self._waves_served += 1
+        for handle in wave:
+            handle.status = RequestStatus.RUNNING
+            handle.wave = wave_index
+            if handle.queue_wait_s is None:
+                handle.queue_wait_s = wave_start - handle.arrival_s
+        queries = [handle._query for handle in wave]
+        priorities = (
+            [int(handle.request.priority) for handle in wave] if prioritized else None
+        )
+        deadlines = self._wave_deadlines(wave)
+        preempt_flags = None
+        preempt_check = None
+        if self.config.preemption:
+            flags = [handle.request.priority is Priority.BULK for handle in wave]
+            if any(flags):
+                preempt_flags = flags
+                preempt_check = self._preemption_check(wave_start)
+        resume = [handle._checkpoint for handle in wave]
+        if not any(checkpoint is not None for checkpoint in resume):
+            resume = None
+        batch = self.runner.run(
+            queries,
+            priorities=priorities,
+            injector=self._injector,
+            deadlines=deadlines,
+            checkpoint_interval=self.config.checkpoint_interval,
+            preemptible=preempt_flags,
+            should_preempt=preempt_check,
+            resume=resume,
+        )
+        suspended = batch.extra.get("suspended", {})
+        completed = []
+        for position, (handle, result, latency) in enumerate(
+            zip(wave, batch.results, batch.latencies)
+        ):
+            if position in suspended:
+                # Preempted: back into the queue with its checkpoint;
+                # its admission reservation stays held — the query is
+                # still in the system.
+                handle._checkpoint = suspended[position]
+                handle.preemptions += 1
+                handle.status = RequestStatus.QUEUED
+                self._queue.append(handle)
+                continue
+            handle._checkpoint = None
+            handle.latency_s = wave_start + latency - handle.arrival_s
+            handle._result = result
+            result.extra["service_latency_s"] = handle.latency_s
+            fault_status = result.extra.get("fault_status")
+            if fault_status == "failed":
+                handle.status = RequestStatus.FAILED
+                handle.fault_cause = result.extra.get("fault_cause")
+                handle.attempts = int(result.extra.get("fault_attempts", 0))
+            elif fault_status == "cancelled":
+                handle.status = RequestStatus.CANCELLED
+                handle.fault_cause = result.extra.get("fault_cause")
+                handle.deadline_met = False
+            else:
+                handle.status = RequestStatus.DONE
+                deadline = self._deadline_of(handle)
+                if deadline is not None:
+                    handle.deadline_met = handle.latency_s <= deadline
+            completed.append(handle)
+        self._clock_s += batch.makespan
+        self.admission.release(completed)
+        self.breaker.record(batch.faults_injected)
+        self._batches.append(batch)
+        return batch
+
+    def _preemption_check(self, wave_start: float):
+        """Boundary predicate: has INTERACTIVE work arrived by now?
+
+        Consulted by the batch runner at every super-iteration boundary
+        with the wave's elapsed makespan; queued INTERACTIVE requests
+        whose arrival timestamp has passed make the wave's BULK queries
+        yield.  (An INTERACTIVE request already arrived at wave start is
+        never still queued while BULK runs — it sorts ahead of every
+        BULK request and the admission head always joins — so this only
+        fires for genuinely new arrivals.)
+        """
+
+        def should_preempt(elapsed: float) -> bool:
+            now = wave_start + elapsed
+            return any(
+                handle.request.priority is Priority.INTERACTIVE
+                and handle.arrival_s <= now
+                for handle in self._queue
+            )
+
+        return should_preempt
+
+    def harvest(self) -> tuple[list[QueryHandle], list[BatchResult]]:
+        """Detach finished handles and served batch records.
+
+        Streaming replay over 10^5-10^6 queries cannot keep every handle
+        (each DONE result holds per-vertex value arrays): calling this
+        after each :meth:`step` hands the finished handles and batches to
+        the caller and drops the service's references, keeping memory
+        bounded by the in-flight queue.  Queued/running handles stay.
+        After a harvest, :meth:`stats` only covers what has not been
+        harvested (the clock and wave counter remain cumulative).
+        """
+        finished = [handle for handle in self._handles if handle.done]
+        if finished:
+            self._handles = [handle for handle in self._handles if not handle.done]
+        batches = self._batches
+        self._batches = []
+        return finished, batches
 
     def _deadline_of(self, handle: QueryHandle) -> float | None:
         """The request's deadline, falling back to the config default."""
@@ -344,8 +461,12 @@ class GraphService:
         if not self.config.enforce_deadlines:
             return None
         deadlines = [
-            None if deadline is None else deadline - self._clock_s
-            for deadline in (self._deadline_of(handle) for handle in wave)
+            None
+            if deadline is None
+            else deadline - (self._clock_s - handle.arrival_s)
+            for handle, deadline in (
+                (handle, self._deadline_of(handle)) for handle in wave
+            )
         ]
         if all(deadline is None for deadline in deadlines):
             return None
@@ -427,7 +548,7 @@ class GraphService:
         stats = ServiceStats(
             submitted=len(self._handles),
             queued=len(self._queue),
-            waves=len(self._batches),
+            waves=self._waves_served,
             makespan_s=self._clock_s,
             total_transfer_bytes=int(
                 sum(batch.total_transfer_bytes for batch in self._batches)
@@ -453,6 +574,7 @@ class GraphService:
                 stats.cancelled += 1
                 stats.deadline_missed += 1
                 continue
+            stats.preemptions += handle.preemptions
             if handle.status is not RequestStatus.DONE:
                 continue
             stats.completed += 1

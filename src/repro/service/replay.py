@@ -1,0 +1,286 @@
+"""Streaming trace replay: 10^5-10^6 queries through one service.
+
+The harness pumps an arrival-ordered request stream through a
+:class:`~repro.service.GraphService` without ever materializing the
+whole trace or its results:
+
+* requests are submitted from the iterator with a bounded *lookahead*
+  (enough in-flight work for waves to batch and for the preemption
+  check to see imminent arrivals, never the full trace);
+* after every scheduling wave the finished handles are
+  :meth:`~repro.service.GraphService.harvest`-ed, their latencies and
+  SLA outcomes folded into running per-class accumulators, and their
+  per-vertex result arrays dropped — memory stays bounded by the
+  lookahead window, not the trace length;
+* a seeded reservoir of completed queries is kept aside and re-run solo
+  after the replay, asserting the serving path returned bitwise the
+  values a standalone ``system.run`` produces.
+
+The :class:`ReplayReport` this emits (per-class p50/p95/p99, SLA
+attainment, rejection breakdown, simulated queries/s) is what
+``benchmarks/bench_replay.py`` snapshots and what the CI replay gate
+compares against.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.service.core import GraphService
+from repro.service.request import Priority, QueryRequest, RequestStatus
+
+__all__ = ["ReplayHarness", "ReplayReport"]
+
+
+@dataclass
+class _ClassAccumulator:
+    """Running per-priority-class latency/SLA tallies."""
+
+    latencies: list[float] = field(default_factory=list)
+    queue_waits: list[float] = field(default_factory=list)
+    sla_met: int = 0
+    sla_missed: int = 0
+
+    def row(self) -> dict[str, object]:
+        latencies = np.asarray(self.latencies, dtype=np.float64)
+        carrying = self.sla_met + self.sla_missed
+        return {
+            "count": int(latencies.size),
+            "p50_s": float(np.percentile(latencies, 50)) if latencies.size else 0.0,
+            "p95_s": float(np.percentile(latencies, 95)) if latencies.size else 0.0,
+            "p99_s": float(np.percentile(latencies, 99)) if latencies.size else 0.0,
+            "mean_s": float(latencies.mean()) if latencies.size else 0.0,
+            "max_s": float(latencies.max()) if latencies.size else 0.0,
+            "mean_wait_s": float(np.mean(self.queue_waits)) if self.queue_waits else 0.0,
+            "sla_met": self.sla_met,
+            "sla_missed": self.sla_missed,
+            "sla_attainment": (self.sla_met / carrying) if carrying else 1.0,
+        }
+
+
+@dataclass
+class ReplayReport:
+    """What one trace replay measured."""
+
+    #: Requests drawn from the trace (= submitted to the service).
+    queries: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    rejected: int = 0
+    #: Scheduling waves the replay served.
+    waves: int = 0
+    #: Super-iteration-boundary preemptions, and queries preempted >= once.
+    preemptions: int = 0
+    preempted_queries: int = 0
+    #: Simulated end-to-end serving time (arrival of the first request
+    #: to completion of the last wave).
+    makespan_s: float = 0.0
+    #: Latest simulated completion time of a BULK query (0 when none).
+    bulk_makespan_s: float = 0.0
+    #: Wall-clock seconds the replay itself took.
+    wall_s: float = 0.0
+    #: Per-class latency/SLA rows keyed by class name.
+    classes: dict[str, dict[str, object]] = field(default_factory=dict)
+    #: Rejection counts keyed by class name.
+    rejections_by_class: dict[str, int] = field(default_factory=dict)
+    #: Bitwise verification outcome (``None`` when no sample was drawn).
+    verified_bitwise: bool | None = None
+    verified_queries: int = 0
+
+    @property
+    def queries_per_second(self) -> float:
+        """Completed queries over the simulated makespan."""
+        if self.makespan_s <= 0.0:
+            return 0.0
+        return self.completed / self.makespan_s
+
+    def sla_attainment(self, priority: Priority | str) -> float:
+        row = self.classes.get(Priority.parse(priority).name.lower())
+        return float(row["sla_attainment"]) if row else 1.0
+
+    def latency_percentile(self, priority: Priority | str, percentile: int) -> float:
+        row = self.classes.get(Priority.parse(priority).name.lower())
+        return float(row["p%d_s" % percentile]) if row else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly dump (benchmark artifacts, CI gates)."""
+        return {
+            "queries": self.queries,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "rejected": self.rejected,
+            "waves": self.waves,
+            "preemptions": self.preemptions,
+            "preempted_queries": self.preempted_queries,
+            "makespan_s": self.makespan_s,
+            "bulk_makespan_s": self.bulk_makespan_s,
+            "queries_per_second": self.queries_per_second,
+            "wall_s": self.wall_s,
+            "classes": self.classes,
+            "rejections_by_class": self.rejections_by_class,
+            "verified_bitwise": self.verified_bitwise,
+            "verified_queries": self.verified_queries,
+        }
+
+
+class ReplayHarness:
+    """Pump an arrival-ordered request stream through one service.
+
+    Parameters
+    ----------
+    service:
+        The (warmed) service to replay against.  Its config decides the
+        serving semantics — scheduling, admission, preemption.
+    lookahead:
+        Maximum in-flight (queued or running) requests before the
+        harness pauses submission and serves a wave.  Bounds memory and
+        is also the horizon the preemption check can see: an arrival
+        beyond the lookahead window cannot preempt a running wave.
+    verify_sample:
+        Size of the seeded reservoir of completed queries re-run solo
+        after the replay for the bitwise-equality check (0 disables).
+    seed:
+        Seed of the reservoir-sampling stream (not of the trace).
+    """
+
+    def __init__(
+        self,
+        service: GraphService,
+        *,
+        lookahead: int = 512,
+        verify_sample: int = 0,
+        seed: int = 0,
+    ):
+        if lookahead < 1:
+            raise ValueError("lookahead must be at least 1")
+        if verify_sample < 0:
+            raise ValueError("verify_sample must be non-negative")
+        self.service = service
+        self.lookahead = lookahead
+        self.verify_sample = verify_sample
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def replay(self, requests: Iterable[QueryRequest]) -> ReplayReport:
+        """Serve the stream to exhaustion; returns the aggregate report.
+
+        The stream must be arrival-ordered (every trace generator in
+        :mod:`repro.service.trace` is); the replay interleaves bounded
+        submission with :meth:`~repro.service.GraphService.step` /
+        :meth:`~repro.service.GraphService.harvest` so neither handles
+        nor per-vertex results of 10^5-10^6 queries accumulate.
+        """
+        service = self.service
+        stream: Iterator[QueryRequest] = iter(requests)
+        report = ReplayReport()
+        accumulators: dict[Priority, _ClassAccumulator] = {}
+        reservoir: list[tuple] = []  # (program, source, values) samples
+        sampled = 0
+        exhausted = False
+        started = time.perf_counter()
+        while True:
+            # Submit up to the lookahead window (REJECTED handles do not
+            # occupy a slot — they are terminal the moment they exist).
+            while not exhausted and self._in_flight() < self.lookahead:
+                try:
+                    request = next(stream)
+                except StopIteration:
+                    exhausted = True
+                    break
+                service.submit(request)
+                report.queries += 1
+            batch = service.step()
+            finished, _batches = service.harvest()
+            if finished:
+                sampled = self._fold(report, accumulators, finished, reservoir, sampled)
+            if batch is None and exhausted:
+                break
+        report.waves = service._waves_served
+        report.makespan_s = service._clock_s
+        report.classes = {
+            priority.name.lower(): accumulator.row()
+            for priority, accumulator in sorted(accumulators.items())
+        }
+        if self.verify_sample and reservoir:
+            report.verified_queries = len(reservoir)
+            report.verified_bitwise = self._verify(reservoir)
+        report.wall_s = time.perf_counter() - started
+        return report
+
+    # ------------------------------------------------------------------
+    def _in_flight(self) -> int:
+        """Handles submitted but not yet terminal (queue + this wave)."""
+        return len(self.service._queue)
+
+    def _fold(
+        self,
+        report: ReplayReport,
+        accumulators: dict[Priority, _ClassAccumulator],
+        finished,
+        reservoir: list,
+        sampled: int,
+    ) -> int:
+        """Fold one harvest into the running tallies; extends the reservoir."""
+        for handle in finished:
+            priority = handle.request.priority
+            if handle.status is RequestStatus.REJECTED:
+                report.rejected += 1
+                name = priority.name.lower()
+                report.rejections_by_class[name] = (
+                    report.rejections_by_class.get(name, 0) + 1
+                )
+                continue
+            if handle.preemptions:
+                report.preemptions += handle.preemptions
+                report.preempted_queries += 1
+            if handle.status is RequestStatus.FAILED:
+                report.failed += 1
+                continue
+            if handle.status is RequestStatus.CANCELLED:
+                report.cancelled += 1
+                continue
+            report.completed += 1
+            if priority is Priority.BULK:
+                # Completion in simulated time: the latency clock runs
+                # from arrival.
+                report.bulk_makespan_s = max(
+                    report.bulk_makespan_s, handle.arrival_s + handle.latency_s
+                )
+            accumulator = accumulators.setdefault(priority, _ClassAccumulator())
+            accumulator.latencies.append(handle.latency_s)
+            if handle.queue_wait_s is not None:
+                accumulator.queue_waits.append(handle.queue_wait_s)
+            if handle.deadline_met is True:
+                accumulator.sla_met += 1
+            elif handle.deadline_met is False:
+                accumulator.sla_missed += 1
+            if self.verify_sample:
+                sampled += 1
+                sample = (
+                    handle._query[0],
+                    handle._query[1],
+                    handle._result.values,
+                )
+                if len(reservoir) < self.verify_sample:
+                    reservoir.append(sample)
+                else:
+                    # Classic reservoir sampling: keep each completed
+                    # query with probability sample_size / seen_so_far.
+                    slot = int(self._rng.integers(sampled))
+                    if slot < self.verify_sample:
+                        reservoir[slot] = sample
+        return sampled
+
+    def _verify(self, reservoir: list) -> bool:
+        """Re-run the sampled queries solo; True when all values match bitwise."""
+        for program, source, served_values in reservoir:
+            solo = self.service.system.run(program, source=source)
+            if not np.array_equal(served_values, solo.values):
+                return False
+        return True

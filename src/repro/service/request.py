@@ -88,10 +88,18 @@ class QueryRequest:
         Optional latency SLA in simulated seconds.  Missing it never
         cancels the query — the service records the miss per request
         (:attr:`QueryHandle.deadline_met`) and aggregates SLA attainment
-        in :class:`~repro.service.stats.ServiceStats`.
+        in :class:`~repro.service.stats.ServiceStats`.  With arrival
+        timestamps the SLA clock starts at :attr:`arrival_s`, not at
+        the start of the serving run.
     label:
         Free-form client tag carried through to the handle (trace names,
         tenant ids).
+    arrival_s:
+        Simulated arrival timestamp.  ``0.0`` (the default) reproduces
+        the historical everything-at-once behaviour; a trace whose
+        requests carry increasing arrivals is served event-driven —
+        waves form only over requests that have arrived, and queue wait
+        is measured from this timestamp.
     """
 
     algorithm: str
@@ -99,11 +107,14 @@ class QueryRequest:
     priority: Priority = Priority.STANDARD
     deadline_s: float | None = None
     label: str | None = None
+    arrival_s: float = 0.0
 
     def __post_init__(self):
         object.__setattr__(self, "priority", Priority.parse(self.priority))
         if self.deadline_s is not None and self.deadline_s < 0:
             raise ValueError("deadline_s must be non-negative")
+        if not (self.arrival_s >= 0.0):  # also catches NaN
+            raise ValueError("arrival_s must be a non-negative time")
 
 
 class RequestStatus(Enum):
@@ -160,18 +171,32 @@ class QueryHandle:
     estimated_bytes: int = 0
     #: Scheduling wave the request ran in (``None`` until it runs).
     wave: int | None = None
-    #: Simulated submit-to-completion latency (queue wait + execution).
+    #: Simulated arrival-to-completion latency (queue wait + execution).
     latency_s: float | None = None
+    #: Simulated seconds between arrival and the first wave that ran the
+    #: request (``None`` until it runs).
+    queue_wait_s: float | None = None
+    #: How many times the query was preempted at a super-iteration
+    #: boundary and later resumed from its checkpoint.
+    preemptions: int = 0
     #: SLA outcome (``None`` when the request carried no deadline).
     deadline_met: bool | None = None
     #: Why the request FAILED / was CANCELLED (``None`` otherwise).
     fault_cause: str | None = None
     #: Transfer attempts of the fatal fault (0 unless FAILED on one).
     attempts: int = 0
+    #: Suspended-state checkpoint of a preempted query (``None`` unless
+    #: the request is currently waiting to resume).
+    _checkpoint: object | None = field(default=None, repr=False)
     _service: object | None = field(default=None, repr=False)
     #: The resolved (program, source) pair the service will execute.
     _query: tuple | None = field(default=None, repr=False)
     _result: RunResult | None = field(default=None, repr=False)
+
+    @property
+    def arrival_s(self) -> float:
+        """The request's simulated arrival timestamp."""
+        return self.request.arrival_s
 
     @property
     def done(self) -> bool:

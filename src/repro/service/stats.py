@@ -33,6 +33,9 @@ class ServiceStats:
     queued: int = 0
     #: Scheduling waves served so far.
     waves: int = 0
+    #: Total super-iteration-boundary preemptions of tracked handles
+    #: (zero unless :attr:`ServiceConfig.preemption` is on).
+    preemptions: int = 0
     #: Simulated seconds of every served wave, end to end.
     makespan_s: float = 0.0
     total_transfer_bytes: int = 0
@@ -95,6 +98,7 @@ class ServiceStats:
                     "queries": len(latencies),
                     "p50 (s)": round(self.latency_percentile(priority, 50), 6),
                     "p95 (s)": round(self.latency_percentile(priority, 95), 6),
+                    "p99 (s)": round(self.latency_percentile(priority, 99), 6),
                     "max (s)": round(max(latencies), 6),
                 }
             )
@@ -111,6 +115,7 @@ class ServiceStats:
             "cancelled": self.cancelled,
             "queued": self.queued,
             "waves": self.waves,
+            "preemptions": self.preemptions,
             "makespan_s": self.makespan_s,
             "queries_per_second": self.queries_per_second,
             "total_transfer_bytes": self.total_transfer_bytes,

@@ -201,8 +201,68 @@ class TestServeCommand:
         with pytest.raises(SystemExit, match="non-empty JSON list"):
             main(["serve", "--scale", "0.05", "--trace", str(trace)])
         trace.write_text('[{"source": 3}]')
-        with pytest.raises(SystemExit, match="bad trace entry #0"):
+        with pytest.raises(SystemExit, match="entry #0.*algorithm"):
             main(["serve", "--scale", "0.05", "--trace", str(trace)])
+
+    def test_serve_trace_unknown_algorithm_names_entry(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        trace.write_text('[{"algorithm": "bfs", "source": 0}, {"algorithm": "triangles"}]')
+        with pytest.raises(SystemExit, match="entry #1.*unknown algorithm 'triangles'"):
+            main(["serve", "--scale", "0.05", "--trace", str(trace)])
+
+    def test_serve_trace_bad_priority_named(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        trace.write_text('[{"algorithm": "bfs", "source": 0, "priority": "urgent"}]')
+        with pytest.raises(SystemExit, match="entry #0.*unknown priority 'urgent'"):
+            main(["serve", "--scale", "0.05", "--trace", str(trace)])
+
+    def test_serve_trace_negative_arrival_rejected(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        trace.write_text('[{"algorithm": "bfs", "source": 0, "arrival_s": -1.0}]')
+        with pytest.raises(SystemExit, match="entry #0.*arrival_s"):
+            main(["serve", "--scale", "0.05", "--trace", str(trace)])
+
+    def test_serve_trace_partial_arrival_stamping_rejected(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        trace.write_text(
+            '[{"algorithm": "bfs", "source": 0, "arrival_s": 0.1},'
+            ' {"algorithm": "pagerank"}]'
+        )
+        with pytest.raises(SystemExit, match="entry #1.*missing 'arrival_s'"):
+            main(["serve", "--scale", "0.05", "--trace", str(trace)])
+
+    def test_serve_jsonl_trace_errors_carry_line_numbers(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text(
+            '{"algorithm": "bfs", "source": 0}\n'
+            "\n"
+            '{"algorithm": "bfs", "soruce": 3}\n'
+        )
+        with pytest.raises(SystemExit, match="line 3.*unknown key"):
+            main(["serve", "--scale", "0.05", "--trace", str(trace)])
+
+    def test_serve_jsonl_arrival_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text(
+            '{"algorithm": "bfs", "source": 0, "arrival_s": 0.0}\n'
+            '{"algorithm": "pagerank", "priority": "bulk", "arrival_s": 0.001}\n'
+        )
+        code = main(["serve", "--dataset", "SK", "--scale", "0.05",
+                     "--trace", str(trace)])
+        assert code == 0
+        assert "served 2 of 2 requests" in capsys.readouterr().out
+
+    def test_serve_generated_arrivals_with_preemption(self, capsys):
+        code = main(["serve", "--dataset", "SK", "--scale", "0.05",
+                     "--arrivals", "poisson", "--rate", "5000",
+                     "--requests", "30", "--seed", "3", "--preempt"])
+        assert code == 0
+        assert "served 30 of 30 requests" in capsys.readouterr().out
+
+    def test_serve_arrivals_require_rate(self):
+        with pytest.raises(SystemExit, match="positive --rate"):
+            main(["serve", "--scale", "0.05", "--arrivals", "poisson",
+                  "--requests", "10"])
 
     def test_serve_empty_synthetic_trace_rejected(self):
         with pytest.raises(SystemExit, match="synthetic trace"):
