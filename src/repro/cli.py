@@ -100,6 +100,18 @@ def _add_cache_arguments(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_argument(subparser: argparse.ArgumentParser) -> None:
+    # No argparse choices on purpose: unknown names reach the backend
+    # registry, whose error names the *installed* backends (numba is an
+    # optional dependency, so the valid set is environment-specific).
+    subparser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="kernel compute backend: numpy (reference), numba (JIT, needs "
+             "the optional numba dependency), array-api, or auto to pick "
+             "the fastest installed (default: REPRO_BACKEND env var, else numpy)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser for the ``repro-graph`` entry point."""
     parser = argparse.ArgumentParser(
@@ -123,7 +135,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--interconnect", default=None, choices=sorted(INTERCONNECT_PRESETS),
                      help="inter-GPU link preset (default: nvlink)")
     _add_cache_arguments(run)
+    _add_backend_argument(run)
     run.add_argument("--iterations", action="store_true", help="print the per-iteration table")
+    run.add_argument("--verbose", action="store_true",
+                     help="print execution detail (active compute backend, "
+                          "partitioning, cache residency)")
 
     compare = subparsers.add_parser("compare", help="run one workload on several systems")
     compare.add_argument("--dataset", default="SK")
@@ -137,6 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--interconnect", default=None, choices=sorted(INTERCONNECT_PRESETS),
                          help="inter-GPU link preset (default: nvlink)")
     _add_cache_arguments(compare)
+    _add_backend_argument(compare)
 
     batch = subparsers.add_parser(
         "batch", help="serve a batch of concurrent queries on one system"
@@ -161,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--no-baseline", action="store_true",
                        help="skip the sequential (unbatched) baseline runs")
     _add_cache_arguments(batch)
+    _add_backend_argument(batch)
 
     serve = subparsers.add_parser(
         "serve", help="serve a mixed-priority request trace through GraphService"
@@ -221,6 +239,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cancel queries that exceed their deadline mid-run "
                             "instead of only recording the SLA miss")
     _add_cache_arguments(serve)
+    _add_backend_argument(serve)
     return parser
 
 
@@ -289,12 +308,15 @@ def _service_for(args: argparse.Namespace, system_name: str, workload) -> GraphS
             deadline_s=getattr(args, "deadline", None),
             enforce_deadlines=getattr(args, "enforce_deadlines", False),
             preemption=getattr(args, "preempt", False),
+            backend=getattr(args, "backend", None),
         )
     except ValueError as error:
         # Bad --faults specs / --deadline values are user input: one
         # clean error instead of a dataclass traceback.
         raise SystemExit(str(error))
-    return GraphService.for_workload(workload, system_name, config=config, **_cache_kwargs(args))
+    kwargs = _cache_kwargs(args)
+    kwargs.update(config.system_kwargs())
+    return GraphService.for_workload(workload, system_name, config=config, **kwargs)
 
 
 def _cmd_run(args: argparse.Namespace) -> str:
@@ -321,6 +343,14 @@ def _cmd_run(args: argparse.Namespace) -> str:
             result.total_compaction_time, result.total_transfer_time, result.total_kernel_time,
         ),
     ]
+    if args.verbose:
+        lines.append("compute backend: %s" % result.extra.get("backend", "numpy"))
+        lines.append(
+            "partitions: %d, resident in device memory: %d" % (
+                service.system.partitioning.num_partitions,
+                service.system.context.num_resident_partitions,
+            )
+        )
     if args.devices > 1:
         lines.append(
             "multi-GPU: %d devices over %s, boundary sync %.3f KB in %.6f s" % (
@@ -527,6 +557,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         "makespan %.6f s (%.1f queries/s), transfer %.3f MB" % (
             stats.makespan_s, stats.queries_per_second, stats.total_transfer_bytes / 1e6,
         ),
+        "compute backend: %s" % service.system.context.backend_name,
     ]
     if stats.preemptions:
         lines.append(

@@ -1,8 +1,9 @@
 """HyTGraph's primary contribution: hybrid transfer management.
 
-* :mod:`repro.core.kernels` — the vectorised scatter-reduce kernel layer
-  every vertex program pushes its updates through (the repo's GPU-kernel
-  stand-ins; see its "Performance architecture" docstring).
+* :mod:`repro.core.kernels` — the scatter-reduce kernel facade every
+  vertex program pushes its updates through (the repo's GPU-kernel
+  stand-ins), dispatching to a pluggable :mod:`repro.core.backends`
+  implementation (numpy reference / numba JIT / array-API shim).
 * :mod:`repro.core.cost_model` — the per-partition transfer-cost formulas
   (1), (2) and (3) of Section V-A.
 * :mod:`repro.core.selection` — the α/β engine-selection rule of
@@ -17,6 +18,13 @@
   scheduling until convergence (Figure 5).
 """
 
+from repro.core.backends import (
+    KernelBackend,
+    available_backends,
+    get_backend,
+    resolve_backend,
+    use_backend,
+)
 from repro.core.kernels import (
     legacy_kernels,
     push_and_activate,
@@ -36,6 +44,11 @@ __all__ = [
     "scatter_max",
     "push_and_activate",
     "legacy_kernels",
+    "KernelBackend",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
+    "use_backend",
     "CostModel",
     "PartitionCosts",
     "EngineSelector",

@@ -1,0 +1,102 @@
+"""Array-API shim backend — the numpy kernels over any array namespace.
+
+This backend is a *compatibility bridge*, not a speed play: it accepts
+arrays from any array-API-compatible namespace (CuPy, torch, or numpy
+itself), round-trips them through host numpy, runs the bitwise reference
+kernels, and writes the result back into the caller's array in place —
+preserving the in-place mutation contract of the kernel layer.  Activation
+id arrays are always returned as host numpy ``int64`` (frontier
+bookkeeping stays on the host throughout the runtime).
+
+Namespace preference is ``cupy > torch > numpy``; with neither accelerator
+library installed the shim degrades to a plain delegation to the numpy
+backend (zero copies — ``numpy`` arrays pass through untouched), which is
+what keeps the shim testable in every environment.  A CuPy-native backend
+that keeps the state arrays device-resident is the planned follow-on (see
+ROADMAP).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.backends import numpy_backend as _ref
+from repro.core.backends.base import module_installed
+
+__all__ = ["ArrayApiBackend", "detect_namespace"]
+
+
+def detect_namespace(preferred: str | None = None):
+    """Import and return ``(name, namespace)``, preferring accelerators.
+
+    ``preferred`` forces a specific namespace (``"cupy"``, ``"torch"`` or
+    ``"numpy"``); otherwise the first installed of cupy > torch > numpy
+    wins.  numpy is always installed, so this never fails without
+    ``preferred``.
+    """
+    order = (preferred,) if preferred else ("cupy", "torch", "numpy")
+    for name in order:
+        if name == "numpy":
+            return "numpy", np
+        if name == "cupy" and module_installed("cupy"):
+            import cupy
+
+            return "cupy", cupy
+        if name == "torch" and module_installed("torch"):
+            import torch
+
+            return "torch", torch
+    raise ValueError(f"array namespace {preferred!r} is not installed")
+
+
+class ArrayApiBackend:
+    """Run the numpy reference kernels against an array-API namespace."""
+
+    name = "array-api"
+
+    def __init__(self, preferred: str | None = None) -> None:
+        self.namespace_name, self.xp = detect_namespace(preferred)
+
+    def warmup(self) -> None:
+        return None
+
+    def _to_host(self, array):
+        """Return ``(host_array, converted)`` for any namespace array."""
+        if isinstance(array, np.ndarray):
+            return array, False
+        if hasattr(array, "get"):  # cupy device arrays
+            return array.get(), True
+        if hasattr(array, "detach"):  # torch tensors (cpu or device)
+            return array.detach().cpu().numpy(), True
+        return np.asarray(array), False
+
+    def _run_inplace(self, kernel, target, destinations, values, **kwargs):
+        host_target, converted = self._to_host(target)
+        host_destinations, _ = self._to_host(destinations)
+        host_values, _ = self._to_host(values)
+        result = kernel(host_target, host_destinations, host_values, **kwargs)
+        if converted:
+            # Preserve the in-place contract for device arrays: copy the
+            # mutated host state back into the caller's array.
+            target[...] = self.xp.asarray(host_target)
+            return result if result is not host_target else target
+        return result
+
+    def scatter_add(self, target, destinations, values):
+        return self._run_inplace(_ref.scatter_add, target, destinations, values)
+
+    def scatter_min(self, target, destinations, values):
+        return self._run_inplace(_ref.scatter_min, target, destinations, values)
+
+    def scatter_max(self, target, destinations, values):
+        return self._run_inplace(_ref.scatter_max, target, destinations, values)
+
+    def push_and_activate(self, target, destinations, values, *, combine="min", threshold=None):
+        return self._run_inplace(
+            _ref.push_and_activate,
+            target,
+            destinations,
+            values,
+            combine=combine,
+            threshold=threshold,
+        )

@@ -121,6 +121,10 @@ class HyTGraphOptions:
         The α/β engine-selection thresholds.
     max_iterations:
         Safety bound on outer iterations.
+    backend:
+        Compute backend for the kernel layer (``None`` = ambient/default;
+        see :mod:`repro.core.backends`).  Rides in through the options
+        because the engine builds the execution context itself.
     cache_policy / cache_budget:
         Device-memory cache subsystem (:mod:`repro.cache`):
         ``"static-prefix"`` (default) pins each shard's leading
@@ -143,6 +147,7 @@ class HyTGraphOptions:
     max_iterations: int = 10_000
     cache_policy: str = "static-prefix"
     cache_budget: int | None = None
+    backend: str | None = None
 
 
 class HyTGraphEngine:
@@ -203,6 +208,7 @@ class HyTGraphEngine:
             self.config,
             cache_policy=self.options.cache_policy,
             cache_budget=self.options.cache_budget,
+            backend=self.options.backend,
         )
         self.driver = IterationDriver(self.context)
 
@@ -253,6 +259,7 @@ class HyTGraphEngine:
             graph_name=self.original_graph.name,
             preprocessing_time=self.preprocessing_time,
             extra={
+                "backend": self.context.backend_name,
                 "num_partitions": self.partitioning.num_partitions,
                 "hub_sorted": self.reordering is not None,
                 "task_combining": self.options.task_combining,

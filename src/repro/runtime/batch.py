@@ -474,6 +474,7 @@ class QueryBatchRunner:
             cache_evicted_bytes=cache_totals["evicted_bytes"],
             latencies=clocks,
             extra={
+                "backend": context.backend_name,
                 "num_devices": context.num_devices,
                 "resident_partitions": context.num_resident_partitions,
                 "cache_policy": context.cache_policy,

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.algorithms.base import ProgramState, VertexProgram
+from repro.core.backends import use_backend
 from repro.metrics.results import IterationStats, RunResult
 from repro.runtime.context import ExecutionContext
 from repro.sim.streams import StreamTask
@@ -156,7 +157,18 @@ class IterationDriver:
         frontier-aware eviction fires once per boundary regardless of
         the live-query count.  Either way the plan's stats are stamped
         with the cache hit/miss/evicted bytes the planning incurred.
+
+        Planning is where ``program.process`` pushes messages, so a
+        backend pinned on the context is scoped around the whole call —
+        every kernel the iteration runs dispatches to it, while sessions
+        without an explicit backend keep the ambient one.
         """
+        if self.context.backend is None:
+            return self._plan(planner, session, shared)
+        with use_backend(self.context.backend):
+            return self._plan(planner, session, shared)
+
+    def _plan(self, planner, session: QuerySession, shared=None) -> IterationPlan:
         if shared is None:
             return self.windowed_plan(lambda: planner.plan_iteration(session))
         cache = self.context.cache

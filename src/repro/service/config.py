@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cache.policy import CACHE_POLICIES
+from repro.core.backends import resolve_backend_name
 from repro.faults import FaultSchedule, RetryPolicy
 from repro.systems import SYSTEMS
 
@@ -47,6 +48,13 @@ class ServiceConfig:
     # --- device-memory cache -------------------------------------------
     cache_policy: str = "static-prefix"
     cache_budget: int | None = None
+    # --- compute backend -------------------------------------------------
+    #: Kernel-layer compute backend (``"numpy"``, ``"numba"``,
+    #: ``"array-api"`` or ``"auto"``); ``None`` keeps the ambient default
+    #: (``REPRO_BACKEND`` env override, numpy otherwise).  Validated at
+    #: config construction so an unknown or uninstalled backend fails the
+    #: deployment immediately, naming the installed backends.
+    backend: str | None = None
     # --- serving --------------------------------------------------------
     #: ``"priority"`` orders merged tasks by request priority class;
     #: ``"fifo"`` reproduces the historical submission-order co-schedule.
@@ -110,6 +118,10 @@ class ServiceConfig:
                 "unknown admission policy %r; pick one of: %s"
                 % (self.admission_policy, ", ".join(ADMISSION_POLICIES))
             )
+        if self.backend is not None:
+            # Raises BackendError (a ValueError) naming the installed
+            # backends for unknown or uninstalled names.
+            resolve_backend_name(self.backend)
         if self.cache_policy.lower() not in CACHE_POLICIES:
             raise ValueError(
                 "unknown cache policy %r; pick one of: %s"
@@ -145,12 +157,14 @@ class ServiceConfig:
             )
 
     def system_kwargs(self) -> dict:
-        """Constructor kwargs for ``make_system`` from the cache knobs."""
+        """Constructor kwargs for ``make_system`` (cache + backend knobs)."""
         kwargs: dict = {}
         if self.cache_policy != "static-prefix":
             kwargs["cache_policy"] = self.cache_policy
         if self.cache_budget is not None:
             kwargs["cache_budget"] = self.cache_budget
+        if self.backend is not None:
+            kwargs["backend"] = self.backend
         if self.max_iterations is not None:
             kwargs["max_iterations"] = self.max_iterations
         return kwargs

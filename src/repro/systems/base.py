@@ -72,6 +72,7 @@ class GraphSystem(ABC):
         max_iterations: int = DEFAULT_MAX_ITERATIONS,
         cache_policy: str = "static-prefix",
         cache_budget: int | None = None,
+        backend: str | None = None,
     ):
         self.graph = graph
         self.config = config or default_config()
@@ -82,6 +83,10 @@ class GraphSystem(ABC):
         #: zero-copy, UM paging) simply never hit it.
         self.cache_policy = cache_policy
         self.cache_budget = cache_budget
+        #: Compute backend for the kernel layer (``None`` = ambient/default;
+        #: see :mod:`repro.core.backends`).  Resolved by the context so an
+        #: unknown or unavailable backend fails construction, not mid-run.
+        self.backend = backend
         if self.config.num_devices > 1 and not self.supports_multi_device:
             raise ValueError(
                 "%s has no multi-device execution path; run it with num_devices=1"
@@ -97,6 +102,7 @@ class GraphSystem(ABC):
                 self.config,
                 cache_policy=cache_policy,
                 cache_budget=cache_budget,
+                backend=backend,
             )
             self.driver = IterationDriver(self.context)
 
@@ -136,6 +142,7 @@ class GraphSystem(ABC):
         state = program.create_state(self.graph, source)
         frontier = program.initial_frontier(self.graph, state, source)
         result = RunResult(system=self.name, algorithm=program.name, graph_name=self.graph.name)
+        result.extra["backend"] = self.context.backend_name
         if self.context.is_multi_device:
             result.extra["num_devices"] = self.config.num_devices
             result.extra["interconnect"] = self.config.interconnect_kind

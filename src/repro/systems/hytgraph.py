@@ -40,6 +40,7 @@ class HyTGraphSystem(GraphSystem):
         max_iterations: int = 10_000,
         cache_policy: str = "static-prefix",
         cache_budget: int | None = None,
+        backend: str | None = None,
     ):
         super().__init__(
             graph,
@@ -49,6 +50,7 @@ class HyTGraphSystem(GraphSystem):
             max_iterations=max_iterations,
             cache_policy=cache_policy,
             cache_budget=cache_budget,
+            backend=backend,
         )
         self.options = options or HyTGraphOptions()
         if num_partitions is not None:
@@ -56,13 +58,15 @@ class HyTGraphSystem(GraphSystem):
         if partition_bytes is not None:
             self.options.partition_bytes = partition_bytes
         self.options.max_iterations = max_iterations
-        # The engine builds the runtime, so the cache knobs ride in
-        # through its options (explicit arguments win over an options
-        # object carrying the defaults).
+        # The engine builds the runtime, so the cache and backend knobs
+        # ride in through its options (explicit arguments win over an
+        # options object carrying the defaults).
         if cache_policy != "static-prefix":
             self.options.cache_policy = cache_policy
         if cache_budget is not None:
             self.options.cache_budget = cache_budget
+        if backend is not None:
+            self.options.backend = backend
         self.engine = HyTGraphEngine(graph, config=self.config, options=self.options)
         # Execute on the engine's runtime, built over the hub-sorted
         # graph's partitioning (builds_runtime=False skips the base build).

@@ -17,7 +17,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-import repro.core.kernels as kernels
+import repro.core.backends as backend_registry
+import repro.core.backends.numpy_backend as numpy_backend
 from repro.algorithms.bfs import BFS
 from repro.algorithms.cc import ConnectedComponents
 from repro.algorithms.pagerank import DeltaPageRank
@@ -64,41 +65,58 @@ def kernel_dispatch(request, monkeypatch):
     ``native`` uses the indexed-ufunc fast paths of NumPy >= 1.25;
     ``portable`` forces the seeded-bincount / sort+reduceat fallbacks so
     the segment kernels are exercised regardless of the installed NumPy.
+    Both modes live in the numpy reference backend; under a non-numpy
+    active backend (e.g. ``REPRO_BACKEND=numba`` in CI) the flag is
+    harmless and the grid simply runs that backend against the references.
     """
-    monkeypatch.setattr(kernels, "_FORCE_PORTABLE", request.param == "portable")
+    monkeypatch.setattr(numpy_backend, "_FORCE_PORTABLE", request.param == "portable")
     return request.param
 
 
+@pytest.fixture(params=["numpy", "numba", "array-api"])
+def each_backend(request):
+    """Run the raw-kernel grid against every installed compute backend.
+
+    Backends whose optional dependency is missing are skipped with an
+    explicit reason rather than silently shrinking the grid.
+    """
+    name = request.param
+    if name not in backend_registry.available_backends():
+        pytest.skip(f"backend {name!r} is not installed in this environment")
+    with backend_registry.use_backend(name):
+        yield name
+
+
 class TestScatterOps:
-    def test_scatter_add_matches_ufunc_at_bitwise(self, kernel_dispatch):
+    def test_scatter_add_matches_ufunc_at_bitwise(self, each_backend, kernel_dispatch):
         for target, destinations, values in random_batches(seed=1, trials=150):
             expected = target.copy()
             np.add.at(expected, destinations, values)
             actual = scatter_add(target.copy(), destinations, values)
             np.testing.assert_array_equal(bits(expected), bits(actual))
 
-    def test_scatter_min_matches_ufunc_at_bitwise(self, kernel_dispatch):
+    def test_scatter_min_matches_ufunc_at_bitwise(self, each_backend, kernel_dispatch):
         for target, destinations, values in random_batches(seed=2, trials=150):
             expected = target.copy()
             np.minimum.at(expected, destinations, values)
             actual = scatter_min(target.copy(), destinations, values)
             np.testing.assert_array_equal(bits(expected), bits(actual))
 
-    def test_scatter_max_matches_ufunc_at_bitwise(self, kernel_dispatch):
+    def test_scatter_max_matches_ufunc_at_bitwise(self, each_backend, kernel_dispatch):
         for target, destinations, values in random_batches(seed=3, trials=150):
             expected = target.copy()
             np.maximum.at(expected, destinations, values)
             actual = scatter_max(target.copy(), destinations, values)
             np.testing.assert_array_equal(bits(expected), bits(actual))
 
-    def test_empty_batch_is_a_no_op(self, kernel_dispatch):
+    def test_empty_batch_is_a_no_op(self, each_backend, kernel_dispatch):
         target = np.array([1.0, 2.0, 3.0])
         empty = np.zeros(0, dtype=np.int64)
         for op in (scatter_add, scatter_min, scatter_max):
             out = op(target.copy(), empty, np.zeros(0))
             np.testing.assert_array_equal(out, target)
 
-    def test_duplicate_destinations_fold_in_message_order(self, kernel_dispatch):
+    def test_duplicate_destinations_fold_in_message_order(self, each_backend, kernel_dispatch):
         # The exactness claim is about fold order: target, v1, v2, ... in
         # original message order, even for many duplicates of one bin.
         target = np.array([0.1])
@@ -127,7 +145,7 @@ class TestPushAndActivate:
         return np.unique(destinations[changed])
 
     @pytest.mark.parametrize("combine", ["min", "max", "add"])
-    def test_matches_legacy_formulation(self, kernel_dispatch, combine):
+    def test_matches_legacy_formulation(self, each_backend, kernel_dispatch, combine):
         threshold = 0.5 if combine == "add" else None
         kwargs = {"threshold": threshold} if combine == "add" else {}
         for target, destinations, values in random_batches(seed=4, trials=150):
@@ -143,12 +161,12 @@ class TestPushAndActivate:
             np.testing.assert_array_equal(expected_active, actual_active)
             assert actual_active.dtype == np.int64
 
-    def test_empty_batch_returns_empty_frontier(self, kernel_dispatch):
+    def test_empty_batch_returns_empty_frontier(self, each_backend, kernel_dispatch):
         target = np.ones(5)
         out = push_and_activate(target, np.zeros(0, dtype=np.int64), np.zeros(0), combine="min")
         assert out.size == 0 and out.dtype == np.int64
 
-    def test_add_requires_threshold(self, kernel_dispatch):
+    def test_add_requires_threshold(self, each_backend, kernel_dispatch):
         with pytest.raises(ValueError, match="threshold"):
             push_and_activate(np.ones(4), np.array([1]), np.array([1.0]), combine="add")
 
@@ -156,7 +174,7 @@ class TestPushAndActivate:
         with pytest.raises(ValueError, match="combine"):
             push_and_activate(np.ones(4), np.array([1]), np.array([1.0]), combine="sum")
 
-    def test_dense_and_sparse_paths_agree(self, kernel_dispatch):
+    def test_dense_and_sparse_paths_agree(self, each_backend, kernel_dispatch):
         # The same logical batch must give the same answer on both sides
         # of the density heuristic; shrink/grow the target to flip it.
         rng = np.random.default_rng(9)

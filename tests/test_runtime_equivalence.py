@@ -32,9 +32,15 @@ from tests.data.generate_runtime_equivalence import (
     build_graph,
     fingerprint,
 )
+from repro.core.backends import available_backends, use_backend
 from repro.sim.config import HardwareConfig
 
 FIXTURE = Path(__file__).resolve().parent / "data" / "runtime_equivalence.json"
+
+#: The fixtures were captured with the numpy kernels; every backend must
+#: reproduce them bit for bit (simulated times are priced from message
+#: counts, so identical values/frontiers imply identical timings too).
+BACKENDS = ("numpy", "numba", "array-api")
 
 
 @pytest.fixture(scope="module")
@@ -47,16 +53,27 @@ def graph():
     return build_graph()
 
 
+@pytest.fixture(params=BACKENDS)
+def kernel_backend(request):
+    name = request.param
+    if name not in available_backends():
+        pytest.skip(f"backend {name!r} is not installed in this environment")
+    with use_backend(name):
+        yield name
+
+
 @pytest.mark.parametrize("system_key,system_cls", SYSTEMS)
 @pytest.mark.parametrize("algorithm_key,algorithm_cls,source", ALGORITHMS)
 @pytest.mark.parametrize("devices", DEVICE_COUNTS)
 def test_unified_runtime_matches_pre_refactor_main(
-    reference, graph, system_key, system_cls, algorithm_key, algorithm_cls, source, devices
+    reference, graph, kernel_backend, system_key, system_cls, algorithm_key, algorithm_cls,
+    source, devices,
 ):
     config = HardwareConfig(gpu_memory_bytes=graph.edge_data_bytes // 2).with_devices(devices)
     system = system_cls(graph, config=config)
     kwargs = {} if source is None else {"source": source}
     result = system.run(algorithm_cls(), **kwargs)
+    assert result.extra["backend"] == kernel_backend
 
     case = reference["cases"]["%s/%s/%ddev" % (system_key, algorithm_key, devices)]
     current = fingerprint(result)
