@@ -39,6 +39,12 @@ seed ("pre kernel-layer") implementation:
   :class:`~repro.service.GraphService`; deterministic simulated
   latencies, so a drop means the priority scheduler stopped protecting
   the high class (``bench_service_scheduling.py`` is the full version).
+* **Tracing overhead** — wall time of one mixed serve with span tracing
+  enabled vs disabled (interleaved best-of-N).  Gated absolutely: the
+  enabled run must stay within ``TRACING_OVERHEAD_CEILING`` (1.10x) of
+  the disabled run, the zero-overhead promise of :mod:`repro.obs`.  The
+  two runs' simulated makespans are asserted identical — tracing must
+  never change a served number.
 
 Results are written to ``BENCH_perf.json`` in the repository root so
 future PRs can track the perf trajectory.
@@ -837,6 +843,75 @@ def run_service_bench(num_vertices, num_edges, point_lookups, analytical):
 
 
 # ----------------------------------------------------------------------
+# Tracing overhead (the zero-overhead promise of repro.obs)
+# ----------------------------------------------------------------------
+
+#: The traced serve's best-of wall time may exceed the untraced one by at
+#: most this factor — an absolute ceiling on the *current* payload, no
+#: reference rows needed (older references predate the tracing section).
+TRACING_OVERHEAD_CEILING = 1.10
+
+
+def run_tracing_bench(num_vertices, num_edges, point_lookups, analytical, repeats):
+    """Wall time of one mixed serve, tracing enabled vs disabled.
+
+    Both sides build a fresh service and serve the identical request mix;
+    rounds are interleaved (disabled/enabled back to back, order rotated)
+    so machine drift hits both equally.  The simulated makespans must be
+    identical — tracing is instrumentation, never arithmetic — and the
+    harness asserts it before reporting the overhead ratio.
+    """
+    from repro.service import GraphService, ServiceConfig, synthetic_mixed_trace
+
+    graph = rmat_graph(num_vertices, num_edges, seed=5, weighted=True, name="rmat-trace")
+    config = HardwareConfig(gpu_memory_bytes=graph.edge_data_bytes // 2, pcie_bandwidth=1e9)
+    requests = synthetic_mixed_trace(graph, point_lookups, analytical, seed=11)
+
+    makespans = {}
+
+    def serve(tracing):
+        def run():
+            service = GraphService(
+                ServiceConfig(system="hytgraph", tracing=tracing),
+                system=HyTGraphSystem(graph, config=config),
+            )
+            service.submit_many(requests)
+            service.drain()
+            makespans[tracing] = service.stats().makespan_s
+            return service
+
+        return run
+
+    best = {}
+    candidates = [(False, serve(False)), (True, serve(True))]
+    for round_index in range(max(repeats, 5)):
+        offset = round_index % len(candidates)
+        for tracing, fn in candidates[offset:] + candidates[:offset]:
+            fn()  # warm call: soak up allocator/cache state
+            _merge_best(best, tracing, _time_once(fn))
+
+    if makespans[False] != makespans[True]:
+        raise AssertionError(
+            "tracing changed the simulated makespan: %r (off) vs %r (on)"
+            % (makespans[False], makespans[True])
+        )
+    ratio = best[True] / best[False] if best[False] else None
+    entry = {
+        "queries": point_lookups + analytical,
+        "disabled_s": best[False],
+        "enabled_s": best[True],
+        "overhead_ratio": ratio,
+        "makespan_s": makespans[False],
+        "identical_makespan": True,
+    }
+    print(
+        "  HyTGraph  untraced %8.6fs  traced %8.6fs  overhead %.3fx (ceiling %.2fx)"
+        % (best[False], best[True], ratio, TRACING_OVERHEAD_CEILING)
+    )
+    return {"HyTGraph": entry}
+
+
+# ----------------------------------------------------------------------
 # Perf-regression gate
 # ----------------------------------------------------------------------
 
@@ -966,6 +1041,25 @@ def check_regressions(current, reference, tolerance):
             failures.append(
                 "numba %s: %.2fx vs numpy fell below the %.1fx floor"
                 % (row_name, ratio or 0.0, NUMBA_DENSE_PUSH_FLOOR)
+            )
+
+    # Tracing overhead — absolute ceiling on the current payload (the
+    # reference may predate the tracing section; tracing-off is the
+    # baseline measured in the same run, so no reference is needed).
+    for system_name in sorted(current.get("tracing", {})):
+        entry = current["tracing"][system_name]
+        ratio = entry.get("overhead_ratio")
+        if ratio is None:
+            continue
+        ok = ratio <= TRACING_OVERHEAD_CEILING
+        print(
+            "  %-9s tracing overhead %.3fx (ceiling %.2fx) %s"
+            % (system_name, ratio, TRACING_OVERHEAD_CEILING, "ok" if ok else "REGRESSION")
+        )
+        if not ok:
+            failures.append(
+                "%s: tracing overhead %.3fx exceeded the %.2fx ceiling"
+                % (system_name, ratio, TRACING_OVERHEAD_CEILING)
             )
 
     backend_e2e = current.get("backend_e2e") or {}
@@ -1107,6 +1201,14 @@ def main(argv=None):
     )
     service = run_service_bench(serve_vertices, serve_edges, serve_lookups, serve_analytical)
 
+    print(
+        "== tracing overhead (|V| = %d, %d lookups + %d analytical) =="
+        % (serve_vertices, serve_lookups, serve_analytical)
+    )
+    tracing = run_tracing_bench(
+        serve_vertices, serve_edges, serve_lookups, serve_analytical, args.repeats
+    )
+
     payload = {
         "meta": {
             "harness": "bench_perf_hotpaths",
@@ -1126,6 +1228,7 @@ def main(argv=None):
         "batch": batch,
         "cache": cache,
         "service": service,
+        "tracing": tracing,
     }
     args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print("wrote %s" % args.out)

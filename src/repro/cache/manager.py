@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.cache.policy import EvictionPolicy, make_policy
 from repro.graph.partition import Partitioning, ShardedPartitioning
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.config import HardwareConfig
 
 __all__ = ["CacheManager"]
@@ -103,6 +104,9 @@ class CacheManager:
         #: out of the eviction counters: residency lost to a fault is
         #: not a policy decision).
         self.invalidated_bytes = 0
+        #: Span sink for cache events (no-op unless a service installs a
+        #: recording tracer; see :mod:`repro.obs`).
+        self.tracer = NULL_TRACER
         self._install_initial_residency()
 
     # ------------------------------------------------------------------
@@ -147,6 +151,11 @@ class CacheManager:
         :attr:`invalidated_bytes` rather than the eviction counters and
         the policy's recency/score state restarts cold.
         """
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "cache", "invalidate", track="cache",
+                bytes=self.resident_bytes, partitions=self.num_resident,
+            )
         self.invalidated_bytes += self.resident_bytes
         self.resident[:] = False
         self.class_of[:] = np.inf
@@ -430,6 +439,12 @@ class CacheManager:
     def _record_hit(self, index: int) -> None:
         self._counters["hits"] += 1
         self._counters["hit_bytes"] += int(self.partition_bytes[index])
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "cache", "hit", track="cache", partition=index,
+                device=int(self.device_of[index]),
+                bytes=int(self.partition_bytes[index]),
+            )
         if self.class_budgets and self.fill_class is not None:
             # A hit by a better class adopts the partition: it is now
             # part of that class's working set and protected as such.
@@ -465,6 +480,11 @@ class CacheManager:
         self.class_of[index] = np.inf if rank is None else rank
         self.used_bytes[device] += size
         self.policy.on_admit(index)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "cache", "admit", track="cache", partition=index,
+                device=device, bytes=size,
+            )
 
     def _evict(self, index: int) -> None:
         if not self.resident[index]:
@@ -475,3 +495,8 @@ class CacheManager:
         self.used_bytes[device] -= int(self.partition_bytes[index])
         self._counters["evictions"] += 1
         self._counters["evicted_bytes"] += int(self.partition_bytes[index])
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "cache", "evict", track="cache", partition=index,
+                device=device, bytes=int(self.partition_bytes[index]),
+            )

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands cover the workflows a user of the original HyTGraph
+Six subcommands cover the workflows a user of the original HyTGraph
 binaries would expect, plus the serving layer on top:
 
 ``repro-graph info``      — describe a dataset stand-in (Table IV style row);
@@ -10,7 +10,10 @@ binaries would expect, plus the serving layer on top:
 ``repro-graph serve``     — serve a mixed-priority request trace through
                             :class:`repro.service.GraphService` and report
                             per-class latency percentiles, SLA attainment
-                            and admission decisions.
+                            and admission decisions;
+``repro-graph inspect``   — the query flight recorder: reconstruct one
+                            query's latency breakdown from a Chrome trace
+                            captured with ``--trace-out``.
 
 ``run``, ``compare`` and ``batch`` are thin adapters over the same
 :class:`~repro.service.GraphService` the ``serve`` command exposes in
@@ -27,6 +30,8 @@ Examples
     repro-graph batch --dataset UK --algorithm sssp --num-queries 16 --devices 2
     repro-graph serve --dataset UK --system hytgraph --point-lookups 8 --analytical 2
     repro-graph serve --dataset SK --trace trace.json --budget 64M --admission queue
+    repro-graph serve --dataset SK --trace-out spans.json --stats-json stats.json
+    repro-graph inspect spans.json --query q3
 """
 
 from __future__ import annotations
@@ -45,7 +50,6 @@ from repro.metrics.tables import format_table
 from repro.service import (
     ARRIVAL_PROCESSES,
     GraphService,
-    Priority,
     QueryRequest,
     RequestStatus,
     ServiceConfig,
@@ -112,6 +116,23 @@ def _add_backend_argument(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_argument(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--trace-out", type=Path, default=None, metavar="TRACE.json",
+        help="record structured spans over simulated time and write a "
+             "Chrome trace_event file (loads in Perfetto, feeds "
+             "`repro-graph inspect`); tracing never changes any served "
+             "number",
+    )
+
+
+def _add_stats_json_argument(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--stats-json", type=Path, default=None, metavar="STATS.json",
+        help="also write the machine-readable statistics as JSON",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser for the ``repro-graph`` entry point."""
     parser = argparse.ArgumentParser(
@@ -136,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="inter-GPU link preset (default: nvlink)")
     _add_cache_arguments(run)
     _add_backend_argument(run)
+    _add_trace_argument(run)
     run.add_argument("--iterations", action="store_true", help="print the per-iteration table")
     run.add_argument("--verbose", action="store_true",
                      help="print execution detail (active compute backend, "
@@ -179,6 +201,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the sequential (unbatched) baseline runs")
     _add_cache_arguments(batch)
     _add_backend_argument(batch)
+    _add_trace_argument(batch)
+    _add_stats_json_argument(batch)
 
     serve = subparsers.add_parser(
         "serve", help="serve a mixed-priority request trace through GraphService"
@@ -240,6 +264,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "instead of only recording the SLA miss")
     _add_cache_arguments(serve)
     _add_backend_argument(serve)
+    _add_trace_argument(serve)
+    _add_stats_json_argument(serve)
+
+    inspect = subparsers.add_parser(
+        "inspect", help="flight-record one query from a captured Chrome trace"
+    )
+    inspect.add_argument("trace", type=Path, metavar="TRACE.json",
+                         help="Chrome trace written by --trace-out")
+    inspect.add_argument("--query", default=None, metavar="NAME",
+                         help="query lane to reconstruct (label or q<id>, "
+                              "with or without the query: prefix); omitted, "
+                              "the traced queries are listed")
     return parser
 
 
@@ -309,6 +345,7 @@ def _service_for(args: argparse.Namespace, system_name: str, workload) -> GraphS
             enforce_deadlines=getattr(args, "enforce_deadlines", False),
             preemption=getattr(args, "preempt", False),
             backend=getattr(args, "backend", None),
+            tracing=getattr(args, "trace_out", None) is not None,
         )
     except ValueError as error:
         # Bad --faults specs / --deadline values are user input: one
@@ -317,6 +354,24 @@ def _service_for(args: argparse.Namespace, system_name: str, workload) -> GraphS
     kwargs = _cache_kwargs(args)
     kwargs.update(config.system_kwargs())
     return GraphService.for_workload(workload, system_name, config=config, **kwargs)
+
+
+def _export_trace(service: GraphService, path: Path) -> str:
+    """Write the service's recorded spans; returns the report line."""
+    service.export_trace(path)
+    return "trace: wrote %d span(s) to %s%s" % (
+        service.tracer.total_spans,
+        path,
+        " (%d dropped)" % service.tracer.dropped_spans
+        if service.tracer.dropped_spans
+        else "",
+    )
+
+
+def _write_stats_json(path: Path, payload: dict) -> str:
+    """Dump one machine-readable stats payload; returns the report line."""
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return "stats: wrote %s" % path
 
 
 def _cmd_run(args: argparse.Namespace) -> str:
@@ -369,6 +424,8 @@ def _cmd_run(args: argparse.Namespace) -> str:
                 100.0 * result.cache_hit_rate,
             )
         )
+    if args.trace_out is not None:
+        lines.append(_export_trace(service, args.trace_out))
     text = "\n".join(lines) + "\n"
     if args.iterations:
         rows = [
@@ -449,6 +506,11 @@ def _cmd_batch(args: argparse.Namespace) -> str:
     for program, source in queries:
         service.submit_program(program, source)
     (batch,) = service.drain()
+    # Export before the sequential baseline: its solo runs share the
+    # service tracer and would append their own lanes to the batch trace.
+    trace_line = (
+        _export_trace(service, args.trace_out) if args.trace_out is not None else None
+    )
 
     rows = [
         {
@@ -491,6 +553,10 @@ def _cmd_batch(args: argparse.Namespace) -> str:
                 stats["transfer_bytes_saved"] / 1e6,
             )
         )
+    if trace_line is not None:
+        lines.append(trace_line)
+    if args.stats_json is not None:
+        lines.append(_write_stats_json(args.stats_json, batch.as_dict()))
     return "\n".join(lines) + "\n"
 
 
@@ -609,9 +675,36 @@ def _cmd_serve(args: argparse.Namespace) -> str:
                 lines.append(
                     "  %s %s: %s" % (handle.status.value, label, handle.fault_cause)
                 )
+    if args.trace_out is not None:
+        lines.append(_export_trace(service, args.trace_out))
+    if args.stats_json is not None:
+        lines.append(_write_stats_json(args.stats_json, service.observability()))
     rows = stats.class_rows()
     table = format_table(rows, title="Per-class service latency") if rows else ""
     return "\n".join(lines) + "\n" + table
+
+
+def _cmd_inspect(args: argparse.Namespace) -> str:
+    from repro.obs import flight_report, load_trace, query_tracks
+
+    try:
+        payload = load_trace(args.trace)
+    except OSError as error:
+        raise SystemExit("cannot read trace %s: %s" % (args.trace, error))
+    except ValueError as error:
+        raise SystemExit("not a Chrome trace: %s" % error)
+    if args.query is None:
+        queries = query_tracks(payload)
+        if not queries:
+            return "no traced queries in %s\n" % args.trace
+        lines = ["traced queries in %s (pick one with --query):" % args.trace]
+        lines.extend("  %s" % name for name in queries)
+        return "\n".join(lines) + "\n"
+    try:
+        return flight_report(payload, args.query)
+    except KeyError as error:
+        # The error message already lists the traced queries.
+        raise SystemExit(str(error.args[0]) if error.args else str(error))
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -626,6 +719,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         output = _cmd_batch(args)
     elif args.command == "serve":
         output = _cmd_serve(args)
+    elif args.command == "inspect":
+        output = _cmd_inspect(args)
     else:
         output = _cmd_compare(args)
     print(output, end="")

@@ -296,6 +296,7 @@ class HyTGraphEngine:
         """Run ``program`` to convergence and return the full result record."""
         self.reset_run_state()
         session = self.start_session(program, source)
+        self.driver.begin_trace()
         # The loop goes through _run_iteration (rather than the driver's
         # generic loop) so the perf harness can monkeypatch the seed
         # iteration back in.
@@ -313,7 +314,8 @@ class HyTGraphEngine:
         pending: np.ndarray,
     ) -> IterationStats:
         return self.driver.finish(
-            self.driver.windowed_plan(lambda: self._plan(iteration, program, state, pending))
+            self.driver.windowed_plan(lambda: self._plan(iteration, program, state, pending)),
+            trace_iteration=iteration,
         )
 
     def plan_iteration(

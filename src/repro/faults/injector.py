@@ -32,6 +32,7 @@ from dataclasses import replace
 import numpy as np
 
 from repro.faults.spec import FaultKind, FaultSchedule, RetryPolicy
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["FaultInjector"]
 
@@ -58,6 +59,13 @@ class FaultInjector:
         #: Per-device fault counts (transfer faults on the device's
         #: tasks, plus its loss) — the service's device-health view.
         self.device_faults: dict[int, int] = {}
+        #: Span sink for fault events (no-op unless a service installs a
+        #: recording tracer; see :mod:`repro.obs`).
+        self.tracer = NULL_TRACER
+        #: Query-index → trace track, set by the batch runner around
+        #: :meth:`perturb_transfers` so retries also land on the owning
+        #: query's lane (``None`` = fault lane only).
+        self.trace_tracks = None
 
     # ------------------------------------------------------------------
     # Super-iteration boundary
@@ -103,6 +111,10 @@ class FaultInjector:
                 self.faults_injected += 1
                 event["factor"] = spec.factor
             self.events.append(event)
+            if self.tracer.enabled:
+                self.tracer.instant("fault", event["kind"], track="faults", **{
+                    key: value for key, value in event.items() if key != "kind"
+                })
         # The transfer-failure probability active from this boundary on
         # (several flaky specs compose as the max).
         self._flaky_p = max(
@@ -167,8 +179,25 @@ class FaultInjector:
                 tasks[position] = replace(
                     task, transfer_time=task.transfer_time + extra, attempts=attempts
                 )
+                query = self._query_of(task.name)
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "fault", "retry", track="faults", task=task.name,
+                        device=device, attempts=attempts, permanent=permanent,
+                        retry_time_s=extra,
+                    )
+                    track = (
+                        self.trace_tracks[query]
+                        if self.trace_tracks is not None and query is not None
+                        else None
+                    )
+                    if track is not None:
+                        self.tracer.instant(
+                            "fault", "retry", track=track, task=task.name,
+                            device=device, attempts=attempts, permanent=permanent,
+                            retry_time_s=extra,
+                        )
                 if permanent:
-                    query = self._query_of(task.name)
                     if query is not None:
                         failures[query] = max(failures.get(query, 0), attempts)
         return failures

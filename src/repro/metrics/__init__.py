@@ -6,7 +6,17 @@ cross-system comparisons (Table V, Table VI, Figures 7-10) directly
 computable from this package.
 """
 
+from repro.metrics.percentiles import percentile, percentiles
 from repro.metrics.results import BatchResult, IterationStats, RunResult
 from repro.metrics.tables import format_table, format_series, normalize_speedups
 
-__all__ = ["IterationStats", "RunResult", "BatchResult", "format_table", "format_series", "normalize_speedups"]
+__all__ = [
+    "IterationStats",
+    "RunResult",
+    "BatchResult",
+    "format_table",
+    "format_series",
+    "normalize_speedups",
+    "percentile",
+    "percentiles",
+]

@@ -220,6 +220,44 @@ class RunResult:
             "converged": self.converged,
         }
 
+    def observability(self) -> dict[str, object]:
+        """Every run counter behind one discoverable, JSON-safe snapshot.
+
+        The aggregates above plus everything that used to require
+        digging through ``extra`` (backend, cache policy, fault record),
+        organised as a :class:`~repro.obs.MetricsRegistry` snapshot so
+        run- and service-level observability share one shape.
+        """
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.count("run.iterations", self.num_iterations)
+        registry.count("run.transfer_bytes", self.total_transfer_bytes)
+        registry.count("run.interconnect_bytes", self.total_interconnect_bytes)
+        registry.count("run.processed_edges", self.total_processed_edges)
+        registry.count("run.cache.hit_bytes", self.total_cache_hit_bytes)
+        registry.count("run.cache.miss_bytes", self.total_cache_miss_bytes)
+        registry.count("run.cache.evicted_bytes", self.total_cache_evicted_bytes)
+        registry.gauge("run.total_time_s", self.total_time)
+        registry.gauge("run.preprocessing_time_s", self.preprocessing_time)
+        registry.gauge("run.compaction_time_s", self.total_compaction_time)
+        registry.gauge("run.transfer_time_s", self.total_transfer_time)
+        registry.gauge("run.kernel_time_s", self.total_kernel_time)
+        registry.gauge("run.sync_time_s", self.total_sync_time)
+        registry.gauge("run.cache.hit_rate", self.cache_hit_rate)
+        registry.gauge("run.converged", self.converged)
+        for stat in self.iterations:
+            registry.observe("run.iteration_time_s", stat.time)
+        for key, value in sorted(self.extra.items()):
+            if isinstance(value, (bool, int, float, str)) or value is None:
+                registry.gauge("run.extra.%s" % key, value)
+        return {
+            "system": self.system,
+            "algorithm": self.algorithm,
+            "graph": self.graph_name,
+            "metrics": registry.snapshot(),
+        }
+
 
 @dataclass
 class BatchResult:
@@ -377,4 +415,45 @@ class BatchResult:
             "transfer_MB": round(self.total_transfer_bytes / (1024 * 1024), 3),
             "amortized_MB": round(self.amortized_bytes / (1024 * 1024), 3),
             "cache_hit_MB": round(self.cache_hit_bytes / (1024 * 1024), 3),
+        }
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-safe dump of the batch record (``--stats-json``, CI).
+
+        Per-query value arrays are left out (they are results, not
+        statistics), as are live checkpoint objects riding in ``extra``
+        (``suspended``) — everything else serialises with ``json.dumps``.
+        """
+        extra = {
+            key: value
+            for key, value in self.extra.items()
+            if isinstance(value, (bool, int, float, str, list, dict)) or value is None
+        }
+        extra.pop("suspended", None)
+        if "suspended" in self.extra:
+            extra["suspended_queries"] = sorted(self.extra["suspended"])
+        return {
+            "system": self.system,
+            "algorithm": self.algorithm,
+            "graph_name": self.graph_name,
+            "queries": self.num_queries,
+            "makespan_s": self.makespan,
+            "queries_per_second": self.queries_per_second,
+            "super_iterations": self.super_iterations,
+            "amortized_bytes": self.amortized_bytes,
+            "cache_hit_bytes": self.cache_hit_bytes,
+            "cache_miss_bytes": self.cache_miss_bytes,
+            "cache_evicted_bytes": self.cache_evicted_bytes,
+            "total_transfer_bytes": self.total_transfer_bytes,
+            "total_interconnect_bytes": self.total_interconnect_bytes,
+            "latencies_s": list(self.latencies),
+            "failed_queries": self.failed_queries,
+            "cancelled_queries": self.cancelled_queries,
+            "faults_injected": self.faults_injected,
+            "retries": self.retries,
+            "retry_time_s": self.retry_time_s,
+            "checkpoint_time_s": self.checkpoint_time_s,
+            "recovery_time_s": self.recovery_time_s,
+            "recovered_super_iterations": self.recovered_super_iterations,
+            "extra": extra,
         }

@@ -1,0 +1,200 @@
+"""The per-query flight recorder: where did one query's latency go?
+
+``repro-graph inspect trace.json --query q3`` loads a Chrome trace
+written by ``--trace-out`` and reconstructs one query's latency budget
+from its track's spans.  The instrumentation tiles a traced query's
+track with non-overlapping intervals that sum *exactly* to its measured
+service latency:
+
+    queued → [resume-restore] → iter tiles (+ checkpoints) →
+    [preempt-capture → suspended → ...] → terminal instant
+
+so the recorder can account every simulated second: queue wait,
+preemption suspensions, checkpoint/restore copies, and execution —
+which it further splits into kernel, PCIe-transfer and CPU busy time
+from the merged timeline (those overlap across streams, so the split
+is occupancy, not another tiling).
+
+Everything works off the exported JSON payload, never a live tracer:
+the flight recorder is a post-mortem tool.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["load_trace", "query_tracks", "query_summary", "flight_report"]
+
+#: Span names that tile a query's latency, with their report labels.
+_WAIT_NAMES = {"queued": "queue wait", "suspended": "suspended (preempted)"}
+_COPY_NAMES = {
+    "preempt-capture": "preemption capture",
+    "resume-restore": "resume restore",
+    "checkpoint": "checkpoints",
+    "recovery-restore": "fault recovery restore",
+}
+_TERMINAL_NAMES = ("done", "failed", "cancelled", "rejected")
+
+
+def load_trace(path) -> dict:
+    """Read one exported Chrome trace payload."""
+    return json.loads(Path(path).read_text())
+
+
+def _events_by_track(payload: dict) -> tuple[dict[int, str], list[dict]]:
+    """(tid -> track name, non-metadata events) of one payload."""
+    names: dict[int, str] = {}
+    events: list[dict] = []
+    for event in payload.get("traceEvents", []):
+        if event.get("ph") == "M":
+            if event.get("name") == "thread_name":
+                names[event["tid"]] = event["args"]["name"]
+        else:
+            events.append(event)
+    return names, events
+
+
+def query_tracks(payload: dict) -> list[str]:
+    """The query labels present in a trace, in track order."""
+    names, _ = _events_by_track(payload)
+    return [
+        track.split(":", 1)[1]
+        for _, track in sorted(names.items())
+        if track.startswith("query:")
+    ]
+
+
+def _query_events(payload: dict, query: str) -> list[dict]:
+    names, events = _events_by_track(payload)
+    track = query if query.startswith("query:") else "query:%s" % query
+    tids = {tid for tid, name in names.items() if name == track}
+    if not tids:
+        known = ", ".join(query_tracks(payload)) or "none"
+        raise KeyError("no trace track for query %r; traced queries: %s" % (query, known))
+    selected = [event for event in events if event["tid"] in tids]
+    selected.sort(key=lambda event: (event["ts"], event["args"].get("span_id", 0)))
+    return selected
+
+
+def query_summary(payload: dict, query: str) -> dict:
+    """The reconstructed latency budget of one traced query.
+
+    All durations in simulated seconds.  ``components_total_s`` is the
+    sum of the track's tiles and equals ``latency_s`` up to float
+    accumulation — the invariant the flight-recorder test asserts.
+    """
+    events = _query_events(payload, query)
+    summary: dict = {
+        "query": query,
+        "status": None,
+        "arrival_s": None,
+        "completed_s": None,
+        "latency_s": None,
+        "waits": dict.fromkeys(_WAIT_NAMES.values(), 0.0),
+        "copies": dict.fromkeys(_COPY_NAMES.values(), 0.0),
+        "copy_bytes": 0,
+        "exec_s": 0.0,
+        "kernel_s": 0.0,
+        "transfer_s": 0.0,
+        "cpu_s": 0.0,
+        "iterations": 0,
+        "retries": 0,
+        "preemptions": 0,
+        "cache_hit_bytes": 0,
+        "cache_miss_bytes": 0,
+        "components_total_s": 0.0,
+    }
+    for event in events:
+        name, args = event["name"], event.get("args", {})
+        seconds = event.get("dur", 0.0) / 1e6
+        if event["ph"] == "X":
+            summary["components_total_s"] += seconds
+        if name == "admitted":
+            summary["arrival_s"] = event["ts"] / 1e6
+        elif name in _TERMINAL_NAMES:
+            summary["status"] = name
+            summary["completed_s"] = event["ts"] / 1e6
+            if "latency_s" in args:
+                summary["latency_s"] = args["latency_s"]
+        elif name in _WAIT_NAMES:
+            summary["waits"][_WAIT_NAMES[name]] += seconds
+        elif name in _COPY_NAMES:
+            summary["copies"][_COPY_NAMES[name]] += seconds
+            summary["copy_bytes"] += args.get("checkpoint_bytes", 0)
+        elif event["cat"] == "iteration":
+            summary["exec_s"] += seconds
+            summary["iterations"] += 1
+            summary["kernel_s"] += args.get("kernel_s", 0.0)
+            summary["transfer_s"] += args.get("transfer_s", 0.0)
+            summary["cpu_s"] += args.get("cpu_s", 0.0)
+            summary["cache_hit_bytes"] += args.get("cache_hit_bytes", 0)
+            summary["cache_miss_bytes"] += args.get("cache_miss_bytes", 0)
+        elif name == "retry":
+            summary["retries"] += 1
+        elif name == "preempted":
+            summary["preemptions"] += 1
+    if summary["arrival_s"] is None and events:
+        summary["arrival_s"] = events[0]["ts"] / 1e6
+    return summary
+
+
+def _pct(part: float, whole: float) -> str:
+    return "%5.1f%%" % (100.0 * part / whole) if whole > 0 else "    -"
+
+
+def flight_report(payload: dict, query: str) -> str:
+    """The plain-text flight-recorder report for one traced query."""
+    summary = query_summary(payload, query)
+    latency = summary["latency_s"]
+    total = summary["components_total_s"]
+    reference = latency if latency is not None else total
+    lines = [
+        "flight recorder: %s" % summary["query"],
+        "  status      %s" % (summary["status"] or "in flight"),
+        "  arrival     %.6f s (simulated)" % (summary["arrival_s"] or 0.0),
+    ]
+    if summary["completed_s"] is not None:
+        lines.append("  completed   %.6f s" % summary["completed_s"])
+    if latency is not None:
+        lines.append("  latency     %.6f s (queue wait included)" % latency)
+    lines.append("  breakdown:")
+    for label, seconds in summary["waits"].items():
+        if seconds or label == "queue wait":
+            lines.append("    %-24s %.6f s  %s" % (label, seconds, _pct(seconds, reference)))
+    lines.append(
+        "    %-24s %.6f s  %s" % ("execution", summary["exec_s"], _pct(summary["exec_s"], reference))
+    )
+    busy = summary["kernel_s"] + summary["transfer_s"] + summary["cpu_s"]
+    lines.append(
+        "      kernel %.6f s / transfer %.6f s / compaction %.6f s"
+        " / scheduling+overhead %.6f s"
+        % (
+            summary["kernel_s"],
+            summary["transfer_s"],
+            summary["cpu_s"],
+            max(0.0, summary["exec_s"] - busy),
+        )
+    )
+    for label, seconds in summary["copies"].items():
+        if seconds:
+            lines.append("    %-24s %.6f s  %s" % (label, seconds, _pct(seconds, reference)))
+    if latency is not None:
+        lines.append(
+            "  components sum to %.6f s (delta %.3e s vs measured latency)"
+            % (total, total - latency)
+        )
+    detail = [
+        "%d iteration(s)" % summary["iterations"],
+        "%d preemption(s)" % summary["preemptions"],
+        "%d transfer retrie(s)" % summary["retries"],
+    ]
+    if summary["copy_bytes"]:
+        detail.append("%d checkpoint bytes moved" % summary["copy_bytes"])
+    lines.append("  " + ", ".join(detail))
+    if summary["cache_hit_bytes"] or summary["cache_miss_bytes"]:
+        lines.append(
+            "  device cache: %.3f MB hits, %.3f MB misses"
+            % (summary["cache_hit_bytes"] / 1e6, summary["cache_miss_bytes"] / 1e6)
+        )
+    return "\n".join(lines) + "\n"

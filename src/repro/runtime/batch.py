@@ -157,6 +157,8 @@ class QueryBatchRunner:
         preemptible: Sequence[bool] | None = None,
         should_preempt: Callable[[float], bool] | None = None,
         resume: Sequence[object | None] | None = None,
+        trace_base: float = 0.0,
+        trace_tracks: Sequence[str | None] | None = None,
     ) -> BatchResult:
         """Execute ``queries`` (program, source) pairs as one batch.
 
@@ -195,6 +197,18 @@ class QueryBatchRunner:
         the host-to-device copy; re-executed values stay bitwise equal to
         an uninterrupted run because the vertex-program semantics never
         depended on where the boundary fell.
+
+        ``trace_base``/``trace_tracks`` drive span emission when the
+        context carries a recording tracer (see :mod:`repro.obs`).
+        ``trace_base`` is the simulated service time this batch starts at
+        (the wave start); ``trace_tracks`` names each query's trace lane
+        (``None`` entries stay untraced — how replay sampling bounds
+        10^5-query traces; omitted entirely, every query gets a
+        ``query:q<i>`` lane).  Each traced query's lane is tiled with
+        non-overlapping spans — restore/exec/checkpoint/capture — whose
+        durations sum exactly to its :attr:`BatchResult.latencies` entry;
+        device lanes replay the merged co-schedule.  Tracing emits spans
+        only: every number the batch computes is bitwise unchanged.
         """
         if not queries:
             raise ValueError("a batch needs at least one query")
@@ -242,6 +256,25 @@ class QueryBatchRunner:
         cache = context.cache
         cache_before = cache.snapshot_counters() if cache is not None else None
 
+        tracer = context.tracer
+        tracks: list[str | None] | None = None
+        if tracer.enabled:
+            if trace_tracks is None:
+                tracks = ["query:q%d" % index for index in range(len(sessions))]
+            elif len(trace_tracks) != len(queries):
+                raise ValueError(
+                    "got %d trace tracks for %d queries" % (len(trace_tracks), len(queries))
+                )
+            else:
+                tracks = list(trace_tracks)
+            # Event sources route through the same tracer for the run.
+            if cache is not None:
+                cache.tracer = tracer
+            if injector is not None:
+                injector.tracer = tracer
+                injector.trace_tracks = tracks
+        tracing = tracks is not None
+
         makespan = 0.0
         super_iterations = 0
         clocks = [0.0] * len(sessions)
@@ -258,6 +291,13 @@ class QueryBatchRunner:
                 if checkpoint is None:
                     continue
                 cost = driver.restore_checkpoint(sessions[index], checkpoint)
+                if tracing and tracks[index] is not None:
+                    start = trace_base + clocks[index]
+                    tracer.span(
+                        "checkpoint", "resume-restore", tracks[index],
+                        start, start + cost,
+                        checkpoint_bytes=checkpoint.checkpoint_bytes,
+                    )
                 resume_restore_s += cost
                 clocks[index] += cost
                 makespan += cost
@@ -297,6 +337,16 @@ class QueryBatchRunner:
                         continue
                     checkpoint = driver.capture_checkpoint(sessions[index])
                     cost = checkpoint.transfer_seconds(context.config)
+                    if tracing and tracks[index] is not None:
+                        start = trace_base + clocks[index]
+                        tracer.span(
+                            "checkpoint", "preempt-capture", tracks[index],
+                            start, start + cost,
+                            checkpoint_bytes=checkpoint.checkpoint_bytes,
+                        )
+                        tracer.instant(
+                            "query", "preempted", track=tracks[index], t=start + cost
+                        )
                     preempt_capture_s += cost
                     clocks[index] += cost
                     makespan += cost
@@ -305,6 +355,9 @@ class QueryBatchRunner:
                 if not live:
                     break
             live.sort(key=order_key)
+            if tracing:
+                # Fault/cache instants default to the simulated batch clock.
+                tracer.set_clock(trace_base + makespan)
             if injector is not None:
                 lost = injector.begin_super_iteration(context)
                 if lost:
@@ -320,9 +373,18 @@ class QueryBatchRunner:
                             0, sessions[index].iteration - checkpoint.iteration
                         )
                         cost = driver.restore_checkpoint(sessions[index], checkpoint)
+                        if tracing and tracks[index] is not None:
+                            start = trace_base + clocks[index]
+                            tracer.span(
+                                "checkpoint", "recovery-restore", tracks[index],
+                                start, start + cost,
+                                checkpoint_bytes=checkpoint.checkpoint_bytes,
+                            )
                         recovery_time += cost
                         clocks[index] += cost
                         makespan += cost
+                    if tracing:
+                        tracer.set_clock(trace_base + makespan)
             shared.begin_super_iteration()
             if cache is not None:
                 # One cache observation window per super-iteration: the
@@ -389,10 +451,38 @@ class QueryBatchRunner:
             timeline = context.schedule(merged_tasks, merged_sync)
             finish_times = self._per_query_finish(timeline)
             scale = context.time_scale
+            if tracing:
+                super_start = trace_base + makespan
+                busy = self._emit_device_spans(tracer, tracks, timeline, super_start, scale)
+                for index, plan in plans:
+                    track = tracks[index]
+                    if track is None:
+                        continue
+                    start = trace_base + clocks[index]
+                    delta = finish_times.get(index, 0.0) * scale + plan.overhead_time
+                    stats = plan.stats
+                    per_query = busy.get(index, {})
+                    tracer.span(
+                        "iteration", "iter%d" % (sessions[index].iteration - 1),
+                        track, start, start + delta,
+                        super=super_iterations,
+                        active_vertices=stats.active_vertices,
+                        active_edges=stats.active_edges,
+                        cache_hit_bytes=stats.cache_hit_bytes,
+                        cache_miss_bytes=stats.cache_miss_bytes,
+                        kernel_s=per_query.get("gpu", 0.0),
+                        transfer_s=per_query.get("pcie", 0.0),
+                        cpu_s=per_query.get("cpu", 0.0),
+                    )
             for index, plan in plans:
                 clocks[index] += finish_times.get(index, 0.0) * scale + plan.overhead_time
             makespan += timeline.makespan * scale + overhead
             super_iterations += 1
+            if tracing:
+                tracer.span(
+                    "super", "super%d" % (super_iterations - 1), "service",
+                    super_start, trace_base + makespan, queries=len(plans),
+                )
 
             if deadlines is not None:
                 for index in live:
@@ -416,6 +506,13 @@ class QueryBatchRunner:
                     checkpoint = driver.capture_checkpoint(session)
                     checkpoints[index] = checkpoint
                     cost = checkpoint.transfer_seconds(context.config)
+                    if tracing and tracks[index] is not None:
+                        start = trace_base + clocks[index]
+                        tracer.span(
+                            "checkpoint", "checkpoint", tracks[index],
+                            start, start + cost,
+                            checkpoint_bytes=checkpoint.checkpoint_bytes,
+                        )
                     checkpoint_time += cost
                     clocks[index] += cost
                     makespan += cost
@@ -517,6 +614,42 @@ class QueryBatchRunner:
         """
         priority = task.priority if not priority_offset else priority_offset + task.priority
         return replace(task, name="q%d|%s" % (query_index, task.name), priority=priority)
+
+    @staticmethod
+    def _emit_device_spans(tracer, tracks, timeline, start_s: float, scale: float):
+        """Replay one merged co-schedule onto the device trace lanes.
+
+        Emits one span per task stage — ``dev<d>:<resource>`` lanes for
+        device-owned stages, the bare resource lane for collective
+        (boundary-sync) entries — skipping stages owned by untraced
+        queries.  Returns ``{query: {resource: busy_s}}``, the per-query
+        occupancy split the exec tiles annotate.
+        """
+        busy: dict[int, dict[str, float]] = {}
+        for entry in timeline.entries:
+            head, sep, _ = entry.name.partition("|")
+            owner = None
+            if sep and head.startswith("q") and head[1:].isdigit():
+                owner = int(head[1:])
+            for span in entry.spans:
+                if owner is not None:
+                    resources = busy.setdefault(owner, {})
+                    resources[span.resource] = (
+                        resources.get(span.resource, 0.0) + (span.end - span.start) * scale
+                    )
+                    if tracks[owner] is None:
+                        continue
+                track = (
+                    "dev%d:%s" % (entry.device, span.resource)
+                    if entry.device >= 0
+                    else span.resource
+                )
+                tracer.span(
+                    "device", entry.name, track,
+                    start_s + span.start * scale, start_s + span.end * scale,
+                    engine=entry.engine, stream=entry.stream,
+                )
+        return busy
 
     @staticmethod
     def _per_query_finish(timeline) -> dict[int, float]:

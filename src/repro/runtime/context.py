@@ -50,6 +50,7 @@ from repro.sim.events import (
 )
 from repro.cache.manager import CacheManager
 from repro.core.backends import KernelBackend, active_backend, resolve_backend
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.kernel import KernelModel
 from repro.sim.streams import ResourceState, StreamScheduler, StreamTask
 from repro.transfer.residency import ShardResidency
@@ -211,6 +212,9 @@ class ExecutionContext:
             )
         self.scheduler = MultiDeviceScheduler(config)
         self.kernel_model = KernelModel(config)
+        #: Span sink (no-op unless a service/CLI installs a recording
+        #: tracer; see :mod:`repro.obs`).
+        self.tracer = NULL_TRACER
         #: Devices lost to injected faults, in loss order.
         self.lost_devices: list[int] = []
         #: Set when the last device died and execution degraded to the

@@ -107,6 +107,11 @@ class IterationDriver:
 
     def __init__(self, context: ExecutionContext):
         self.context = context
+        #: Simulated elapsed seconds of the current solo run — where the
+        #: next traced iteration's spans start.  Reset by
+        #: :meth:`begin_trace`; untouched (and unused) when the
+        #: context's tracer is the no-op default.
+        self._trace_elapsed = 0.0
 
     # ------------------------------------------------------------------
     # Frontier helpers
@@ -206,8 +211,14 @@ class IterationDriver:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def finish(self, plan: IterationPlan) -> IterationStats:
-        """Schedule one plan on its own and fill its timing fields."""
+    def finish(self, plan: IterationPlan, trace_iteration: int | None = None) -> IterationStats:
+        """Schedule one plan on its own and fill its timing fields.
+
+        ``trace_iteration`` opts one *solo-run* iteration into span
+        emission (its index names the span); batch-mode standalone
+        finishes stay untraced — their merged timeline positions are the
+        batch runner's to emit.
+        """
         sync_bytes = self.context.sync_bytes(plan.remote_updates)
         timeline = self.context.schedule(plan.device_tasks, sync_bytes)
         stats = plan.stats
@@ -216,7 +227,42 @@ class IterationDriver:
             setattr(stats, _BUSY_FIELDS[resource], timeline.busy_time(resource))
         stats.interconnect_bytes = int(sum(sync_bytes))
         stats.sync_time = timeline.sync_time
+        if trace_iteration is not None and self.context.tracer.enabled:
+            self._emit_iteration_spans(stats, timeline, trace_iteration)
         return stats
+
+    # ------------------------------------------------------------------
+    # Tracing (solo runs; see repro.obs)
+    # ------------------------------------------------------------------
+    def begin_trace(self) -> None:
+        """Restart the solo-run span cursor at simulated time zero."""
+        self._trace_elapsed = 0.0
+
+    def _emit_iteration_spans(self, stats: IterationStats, timeline, iteration: int) -> None:
+        """One iteration tile on the run's query lane + its device spans."""
+        tracer = self.context.tracer
+        scale = self.context.time_scale
+        start = self._trace_elapsed
+        end = start + stats.time
+        tracer.span(
+            "iteration", "iter%d" % iteration, "query:run", start, end,
+            active_vertices=stats.active_vertices,
+            active_edges=stats.active_edges,
+            kernel_s=stats.kernel_time * scale,
+            transfer_s=stats.transfer_time * scale,
+            cpu_s=stats.compaction_time * scale,
+            cache_hit_bytes=stats.cache_hit_bytes,
+            cache_miss_bytes=stats.cache_miss_bytes,
+        )
+        for entry in timeline.entries:
+            prefix = "dev%d:" % entry.device if entry.device >= 0 else ""
+            for span in entry.spans:
+                tracer.span(
+                    "device", entry.name, prefix + span.resource,
+                    start + span.start * scale, start + span.end * scale,
+                    engine=entry.engine, stream=entry.stream,
+                )
+        self._trace_elapsed = end
 
     # ------------------------------------------------------------------
     # Checkpointing (fault recovery)
@@ -238,8 +284,9 @@ class IterationDriver:
         ``plan_iteration(session, shared=None) -> IterationPlan`` —
         a :class:`~repro.systems.base.GraphSystem` or the HyTGraph engine.
         """
+        self.begin_trace()
         while session.pending.any() and session.iteration < max_iterations:
             plan = self.plan(planner, session)
-            session.result.iterations.append(self.finish(plan))
+            session.result.iterations.append(self.finish(plan, trace_iteration=session.iteration))
             session.iteration += 1
         return session

@@ -22,6 +22,7 @@ The historical entry points (``Workload.run``/``run_batch``/
 package.
 """
 
+from repro.obs import TracingConfig
 from repro.service.admission import AdmissionController
 from repro.service.config import ServiceConfig
 from repro.service.core import GraphService
@@ -63,4 +64,5 @@ __all__ = [
     "RequestStatus",
     "ServiceConfig",
     "ServiceStats",
+    "TracingConfig",
 ]

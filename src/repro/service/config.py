@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from repro.cache.policy import CACHE_POLICIES
 from repro.core.backends import resolve_backend_name
 from repro.faults import FaultSchedule, RetryPolicy
+from repro.obs.tracer import TracingConfig
 from repro.systems import SYSTEMS
 
 __all__ = ["ServiceConfig", "SCHEDULING_POLICIES", "ADMISSION_POLICIES"]
@@ -101,6 +102,13 @@ class ServiceConfig:
     breaker_threshold: int = 3
     #: Consecutive clean waves before an open breaker closes again.
     breaker_cooldown: int = 1
+    # --- observability ---------------------------------------------------
+    #: Span tracing (:mod:`repro.obs`): ``None``/``False`` for the no-op
+    #: tracer (zero overhead, the default), ``True`` for a recording
+    #: tracer with default :class:`~repro.obs.tracer.TracingConfig`, or
+    #: a ``TracingConfig`` for explicit capacity/sampling.  Tracing only
+    #: records spans — every served number is bitwise unchanged.
+    tracing: TracingConfig | bool | None = None
 
     def __post_init__(self):
         if self.system.lower() not in SYSTEMS:
@@ -155,6 +163,12 @@ class ServiceConfig:
             object.__setattr__(
                 self, "faults", FaultSchedule.parse(self.faults, seed=self.chaos_seed)
             )
+        if self.tracing is True:
+            object.__setattr__(self, "tracing", TracingConfig())
+        elif self.tracing is False:
+            object.__setattr__(self, "tracing", None)
+        elif self.tracing is not None and not isinstance(self.tracing, TracingConfig):
+            raise ValueError("tracing must be None, a bool, or a TracingConfig")
 
     def system_kwargs(self) -> dict:
         """Constructor kwargs for ``make_system`` (cache + backend knobs)."""

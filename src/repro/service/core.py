@@ -36,6 +36,7 @@ from repro.algorithms import make_algorithm
 from repro.algorithms.base import VertexProgram
 from repro.faults import CircuitBreaker, FaultInjector
 from repro.metrics.results import BatchResult, RunResult
+from repro.obs import MetricsRegistry, make_tracer, write_chrome_trace
 from repro.runtime.batch import QueryBatchRunner
 from repro.service.admission import AdmissionController
 from repro.service.config import ServiceConfig
@@ -114,6 +115,12 @@ class GraphService:
             if self.config.faults is not None
             else None
         )
+        #: Span tracer (:mod:`repro.obs`): the shared no-op unless
+        #: ``config.tracing`` asks for recording.  Installed on the
+        #: execution context so the runtime layers see the same sink.
+        self.tracer = make_tracer(self.config.tracing)
+        if self.tracer.enabled:
+            self.system.context.tracer = self.tracer
         #: Lazily computed: whether the service graph is symmetric
         #: (gates programs with ``needs_symmetric``, e.g. CC).
         self._graph_symmetric: bool | None = None
@@ -241,6 +248,11 @@ class GraphService:
         if reason is not None:
             handle.status = RequestStatus.REJECTED
             handle.reject_reason = reason
+            if self.tracer.enabled and self.tracer.trace_query(handle.request_id):
+                self.tracer.instant(
+                    "query", "rejected", track=self._track_of(handle),
+                    t=handle.arrival_s, reason=reason,
+                )
         else:
             self._queue.append(handle)
         self._handles.append(handle)
@@ -355,6 +367,7 @@ class GraphService:
         resume = [handle._checkpoint for handle in wave]
         if not any(checkpoint is not None for checkpoint in resume):
             resume = None
+        tracks = self._trace_wave(wave, wave_start, wave_index)
         batch = self.runner.run(
             queries,
             priorities=priorities,
@@ -364,7 +377,15 @@ class GraphService:
             preemptible=preempt_flags,
             should_preempt=preempt_check,
             resume=resume,
+            trace_base=wave_start,
+            trace_tracks=tracks,
         )
+        if tracks is not None:
+            self.tracer.span(
+                "wave", "wave%d" % wave_index, "service",
+                wave_start, wave_start + batch.makespan,
+                queries=len(wave), super_iterations=batch.super_iterations,
+            )
         suspended = batch.extra.get("suspended", {})
         completed = []
         for position, (handle, result, latency) in enumerate(
@@ -397,12 +418,134 @@ class GraphService:
                 deadline = self._deadline_of(handle)
                 if deadline is not None:
                     handle.deadline_met = handle.latency_s <= deadline
+            if tracks is not None and tracks[position] is not None:
+                self.tracer.instant(
+                    "query", handle.status.name.lower(), track=tracks[position],
+                    t=handle.arrival_s + handle.latency_s,
+                    latency_s=handle.latency_s,
+                    queue_wait_s=handle.queue_wait_s or 0.0,
+                    preemptions=handle.preemptions, wave=wave_index,
+                )
             completed.append(handle)
         self._clock_s += batch.makespan
         self.admission.release(completed)
         self.breaker.record(batch.faults_injected)
         self._batches.append(batch)
         return batch
+
+    # ------------------------------------------------------------------
+    # Tracing (see repro.obs)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _track_of(handle: QueryHandle) -> str:
+        """The query's trace lane (its label, or ``q<request_id>``)."""
+        return "query:%s" % (handle.request.label or "q%d" % handle.request_id)
+
+    def _trace_wave(self, wave, wave_start: float, wave_index: int):
+        """Open the wave's query lanes; returns the per-query track list.
+
+        For every *sampled* query the lane gets its wait tile — ``queued``
+        from arrival (with an ``admitted`` instant) on the first wave,
+        ``suspended`` from where the preemption capture ended on resume
+        waves — closed exactly at ``wave_start``, so the lane's tiles keep
+        summing to the handle's eventual service latency.  Returns
+        ``None`` when tracing is off.
+        """
+        if not self.tracer.enabled:
+            return None
+        tracer = self.tracer
+        tracer.set_clock(wave_start)
+        tracks: list[str | None] = []
+        for handle in wave:
+            if not tracer.trace_query(handle.request_id):
+                tracks.append(None)
+                continue
+            track = self._track_of(handle)
+            tracks.append(track)
+            if handle.preemptions:
+                name = "suspended"
+            else:
+                name = "queued"
+                tracer.instant(
+                    "query", "admitted", track=track, t=handle.arrival_s,
+                    request_id=handle.request_id,
+                    algorithm=handle.request.algorithm,
+                    priority=handle.request.priority.name.lower(),
+                )
+            start = tracer.cursor(track, handle.arrival_s)
+            if wave_start > start:
+                tracer.span("query", name, track, start, wave_start, wave=wave_index)
+        return tracks
+
+    def metrics(self) -> MetricsRegistry:
+        """One registry over every live counter source of the service.
+
+        Assembled on demand from :meth:`stats`, the device cache, the
+        fault injector, the un-harvested batch records and the tracer —
+        the snapshot is deterministic (sorted names, fixed histogram
+        bounds), so CI can diff it across runs.
+        """
+        registry = MetricsRegistry()
+        stats = self.stats()
+        for name in (
+            "submitted", "admitted", "rejected", "completed", "failed",
+            "cancelled", "queued", "waves", "preemptions", "deadline_met",
+            "deadline_missed", "faults_injected", "retries", "breaker_trips",
+            "total_transfer_bytes",
+        ):
+            registry.count("service.%s" % name, getattr(stats, name))
+        registry.gauge("service.makespan_s", stats.makespan_s)
+        registry.gauge("service.queries_per_second", stats.queries_per_second)
+        registry.gauge("service.deadline_attainment", stats.deadline_attainment)
+        registry.gauge("service.breaker_open", stats.breaker_open)
+        registry.gauge("service.retry_time_s", stats.retry_time_s)
+        registry.gauge("service.checkpoint_time_s", stats.checkpoint_time_s)
+        registry.gauge("service.recovery_time_s", stats.recovery_time_s)
+        for priority, latencies in sorted(stats.latencies_by_class.items()):
+            name = "service.latency_s.%s" % priority.name.lower()
+            for value in latencies:
+                registry.observe(name, value)
+        cache = self.system.context.cache
+        if cache is not None:
+            registry.merge_counters("cache", cache.counters())
+            registry.count("cache.invalidated_bytes", cache.invalidated_bytes)
+            registry.gauge("cache.resident_bytes", cache.resident_bytes)
+            registry.gauge("cache.policy", cache.policy_name)
+        if self._injector is not None:
+            registry.count("faults.injected", self._injector.faults_injected)
+            registry.count("faults.retries", self._injector.retries)
+            registry.gauge("faults.retry_time_s", self._injector.retry_time_s)
+        for batch in self._batches:
+            registry.count("batch.amortized_bytes", batch.amortized_bytes)
+            registry.count("batch.super_iterations", batch.super_iterations)
+        if self.tracer.enabled:
+            registry.count("trace.spans", self.tracer.total_spans)
+            registry.count("trace.dropped_spans", self.tracer.dropped_spans)
+        return registry
+
+    def observability(self) -> dict:
+        """The full machine-readable picture: stats ∪ metrics ∪ health."""
+        payload = self.stats().as_dict()
+        payload["metrics"] = self.metrics().snapshot()
+        payload["device_health"] = self.device_health()
+        return payload
+
+    def export_trace(self, path):
+        """Write the recorded spans (+ metrics snapshot) as a Chrome trace.
+
+        Requires ``config.tracing``; the file loads in Perfetto and
+        feeds ``repro-graph inspect``.
+        """
+        if not self.tracer.enabled:
+            raise ValueError(
+                "this service does not trace; build it with ServiceConfig(tracing=True)"
+            )
+        return write_chrome_trace(
+            path,
+            self.tracer.spans(),
+            metrics=self.metrics().snapshot(),
+            dropped=self.tracer.dropped_spans,
+        )
 
     def _preemption_check(self, wave_start: float):
         """Boundary predicate: has INTERACTIVE work arrived by now?

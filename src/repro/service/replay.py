@@ -30,6 +30,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from repro.metrics.percentiles import percentile
 from repro.service.core import GraphService
 from repro.service.request import Priority, QueryRequest, RequestStatus
 
@@ -50,9 +51,9 @@ class _ClassAccumulator:
         carrying = self.sla_met + self.sla_missed
         return {
             "count": int(latencies.size),
-            "p50_s": float(np.percentile(latencies, 50)) if latencies.size else 0.0,
-            "p95_s": float(np.percentile(latencies, 95)) if latencies.size else 0.0,
-            "p99_s": float(np.percentile(latencies, 99)) if latencies.size else 0.0,
+            "p50_s": percentile(latencies, 50),
+            "p95_s": percentile(latencies, 95),
+            "p99_s": percentile(latencies, 99),
             "mean_s": float(latencies.mean()) if latencies.size else 0.0,
             "max_s": float(latencies.max()) if latencies.size else 0.0,
             "mean_wait_s": float(np.mean(self.queue_waits)) if self.queue_waits else 0.0,
@@ -147,6 +148,12 @@ class ReplayHarness:
         after the replay for the bitwise-equality check (0 disables).
     seed:
         Seed of the reservoir-sampling stream (not of the trace).
+    trace_sample:
+        When the service traces (``ServiceConfig(tracing=...)``), the
+        fraction of queries whose per-query spans are recorded — a
+        deterministic hash of the request id, so 10^5-query replays keep
+        the span buffer bounded while still tracing a representative
+        seeded sample.  ``None`` leaves the tracer's own sampling alone.
     """
 
     def __init__(
@@ -156,6 +163,7 @@ class ReplayHarness:
         lookahead: int = 512,
         verify_sample: int = 0,
         seed: int = 0,
+        trace_sample: float | None = None,
     ):
         if lookahead < 1:
             raise ValueError("lookahead must be at least 1")
@@ -165,6 +173,8 @@ class ReplayHarness:
         self.lookahead = lookahead
         self.verify_sample = verify_sample
         self._rng = np.random.default_rng(seed)
+        if trace_sample is not None:
+            service.tracer.set_sample(trace_sample)
 
     # ------------------------------------------------------------------
     def replay(self, requests: Iterable[QueryRequest]) -> ReplayReport:

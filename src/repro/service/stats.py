@@ -4,8 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
+from repro.metrics.percentiles import percentile
 from repro.service.request import Priority
 
 __all__ = ["ServiceStats"]
@@ -75,12 +74,9 @@ class ServiceStats:
         """Completed-request latencies of one priority class."""
         return self.latencies_by_class.get(Priority.parse(priority), [])
 
-    def latency_percentile(self, priority: Priority, percentile: float) -> float:
+    def latency_percentile(self, priority: Priority, q: float) -> float:
         """A latency percentile (e.g. ``95``) of one class; 0.0 when empty."""
-        latencies = self.class_latencies(priority)
-        if not latencies:
-            return 0.0
-        return float(np.percentile(np.asarray(latencies, dtype=np.float64), percentile))
+        return percentile(self.class_latencies(priority), q)
 
     # ------------------------------------------------------------------
     # Reporting
@@ -126,6 +122,19 @@ class ServiceStats:
                 priority.name.lower(): list(latencies)
                 for priority, latencies in self.latencies_by_class.items()
             },
+            "classes": [
+                {
+                    "class": priority.name.lower(),
+                    "queries": len(latencies),
+                    "p50_s": self.latency_percentile(priority, 50),
+                    "p95_s": self.latency_percentile(priority, 95),
+                    "p99_s": self.latency_percentile(priority, 99),
+                    "max_s": max(latencies),
+                }
+                for priority in Priority
+                for latencies in [self.class_latencies(priority)]
+                if latencies
+            ],
             "faults_injected": self.faults_injected,
             "retries": self.retries,
             "retry_time_s": self.retry_time_s,
