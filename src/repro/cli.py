@@ -57,8 +57,9 @@ from repro.service import (
     synthetic_mixed_trace,
     timed_mixed_trace,
 )
+from repro.cluster import ClusterConfig, ClusterService
 from repro.service.config import ADMISSION_POLICIES, SCHEDULING_POLICIES
-from repro.sim.config import INTERCONNECT_PRESETS
+from repro.sim.config import INTERCONNECT_PRESETS, NETWORK_PRESETS
 from repro.systems import SYSTEMS
 
 __all__ = ["main", "build_parser", "parse_byte_size"]
@@ -215,6 +216,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="number of GPUs (>1 enables the sharded multi-GPU layer)")
     serve.add_argument("--interconnect", default=None, choices=sorted(INTERCONNECT_PRESETS),
                        help="inter-GPU link preset (default: nvlink)")
+    serve.add_argument("--hosts", type=int, default=1,
+                       help="simulated hosts; >1 serves through the replicated "
+                            "cluster tier (--devices GPUs per host, consistent-"
+                            "hash routing, cross-host failover)")
+    serve.add_argument("--network", default=None, choices=sorted(NETWORK_PRESETS),
+                       help="host interconnect preset for the cluster tier "
+                            "(default: tcp); also enables the cluster path "
+                            "at --hosts 1")
     serve.add_argument("--trace", type=Path, default=None, metavar="TRACE.json",
                        help="request trace file (JSON list, or JSON Lines for "
                             "large traces): objects with keys algorithm, source "
@@ -254,7 +263,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "kind[@super][:key=value,...] entries, e.g. "
                             "'device-loss@3:device=1;transfer-flaky:p=0.05' "
                             "(kinds: device-loss, transfer-flaky, "
-                            "memory-pressure, interconnect-degrade)")
+                            "memory-pressure, interconnect-degrade; plus "
+                            "host-loss with --hosts > 1)")
     serve.add_argument("--chaos-seed", type=int, default=0,
                        help="seed of the fault injector's random stream")
     serve.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
@@ -326,10 +336,10 @@ def _cache_kwargs(args: argparse.Namespace) -> dict:
     return kwargs
 
 
-def _service_for(args: argparse.Namespace, system_name: str, workload) -> GraphService:
-    """One GraphService over the workload's graph/config (adapter plumbing)."""
+def _service_config(args: argparse.Namespace, system_name: str) -> ServiceConfig:
+    """The ServiceConfig the CLI flags describe (adapter plumbing)."""
     try:
-        config = ServiceConfig(
+        return ServiceConfig(
             system=system_name,
             dataset=args.dataset,
             scale=args.scale,
@@ -351,9 +361,31 @@ def _service_for(args: argparse.Namespace, system_name: str, workload) -> GraphS
         # Bad --faults specs / --deadline values are user input: one
         # clean error instead of a dataclass traceback.
         raise SystemExit(str(error))
+
+
+def _service_for(args: argparse.Namespace, system_name: str, workload) -> GraphService:
+    """One GraphService over the workload's graph/config."""
+    config = _service_config(args, system_name)
     kwargs = _cache_kwargs(args)
     kwargs.update(config.system_kwargs())
     return GraphService.for_workload(workload, system_name, config=config, **kwargs)
+
+
+def _cluster_for(args: argparse.Namespace, system_name: str, workload) -> ClusterService:
+    """One ClusterService (--hosts/--network) over the workload."""
+    service_config = _service_config(args, system_name)
+    try:
+        config = ClusterConfig(
+            hosts=args.hosts,
+            gpus_per_host=args.devices,
+            network=args.network or "tcp",
+            service=service_config,
+        )
+    except (KeyError, ValueError) as error:
+        raise SystemExit(str(error))
+    kwargs = _cache_kwargs(args)
+    kwargs.update(service_config.system_kwargs())
+    return ClusterService.for_workload(workload, system_name, config=config, **kwargs)
 
 
 def _export_trace(service: GraphService, path: Path) -> str:
@@ -597,13 +629,19 @@ def _load_trace(args: argparse.Namespace, workload) -> list[QueryRequest]:
 
 def _cmd_serve(args: argparse.Namespace) -> str:
     _require_multi_device_capable(args.system, args.devices)
+    if args.hosts < 1:
+        raise SystemExit("--hosts must be at least 1")
+    clustered = args.hosts > 1 or args.network is not None
     # The SSSP cell loads the dataset weighted, so one service graph can
     # serve every algorithm a trace may carry.
     workload = build_workload(
         args.dataset, "sssp", scale=args.scale, preset=args.gpu,
         num_devices=args.devices, interconnect=args.interconnect,
     )
-    service = _service_for(args, args.system, workload)
+    if clustered:
+        service = _cluster_for(args, args.system, workload)
+    else:
+        service = _service_for(args, args.system, workload)
     requests = _load_trace(args, workload)
     try:
         handles = service.submit_many(requests)
@@ -625,6 +663,17 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         ),
         "compute backend: %s" % service.system.context.backend_name,
     ]
+    if clustered:
+        network = service.network
+        lines.insert(1, (
+            "cluster: %d host(s) x %d GPU(s) over %s (%.2f GB/s, %.0f us); "
+            "router: %d affinity, %d spill(s), %d rejection(s)" % (
+                service.config.hosts, service.config.gpus_per_host, network.kind,
+                network.bandwidth / 1e9, network.latency * 1e6,
+                service.router.affinity_hits, service.router.spills,
+                service.router.rejections,
+            )
+        ))
     if stats.preemptions:
         lines.append(
             "preemption: %d BULK yield(s) to newly arrived interactive work"
@@ -662,13 +711,24 @@ def _cmd_serve(args: argparse.Namespace) -> str:
                 "OPEN" if stats.breaker_open else "closed", stats.breaker_trips,
             )
         )
-        lines.append(
-            "devices: %d of %d alive%s%s" % (
-                health["alive"], health["configured"],
-                ", lost: %s" % health["lost"] if health["lost"] else "",
-                " (host fallback)" if health["host_fallback"] else "",
+        if clustered:
+            lines.append(
+                "hosts: %d of %d alive%s; %d failover(s), %.3f MB checkpoint "
+                "shipping (%.6f s on the network)" % (
+                    health["hosts_alive"], health["hosts"],
+                    ", lost: %s" % health["hosts_lost"] if health["hosts_lost"] else "",
+                    service.router.failovers, service.shipped_bytes / 1e6,
+                    service.ship_time_s,
+                )
             )
-        )
+        else:
+            lines.append(
+                "devices: %d of %d alive%s%s" % (
+                    health["alive"], health["configured"],
+                    ", lost: %s" % health["lost"] if health["lost"] else "",
+                    " (host fallback)" if health["host_fallback"] else "",
+                )
+            )
         for handle in handles:
             if handle.status in (RequestStatus.FAILED, RequestStatus.CANCELLED):
                 label = handle.request.label or "request-%d" % handle.request_id

@@ -1,0 +1,16 @@
+"""Multi-node cluster tier: simulated hosts, network fabric, routed replicas.
+
+The single-host stack (:mod:`repro.service`) serves one warmed session;
+this package replicates it across N simulated hosts behind a
+consistent-hash router, prices cross-host byte movement on a
+:class:`~repro.sim.config.NetworkConfig` fabric, and fails queries over
+to surviving replicas — checkpoints shipped over the network — when a
+host is lost.  With ``hosts=1`` the cluster is bitwise-degenerate to a
+plain :class:`~repro.service.GraphService`.
+"""
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.router import ConsistentHashRing, Router, stable_hash
+from repro.cluster.service import ClusterService
+
+__all__ = ["ClusterConfig", "ClusterService", "ConsistentHashRing", "Router", "stable_hash"]

@@ -85,6 +85,11 @@ class FaultInjector:
         for position, spec in enumerate(self.schedule.specs):
             if spec.kind is FaultKind.TRANSFER_FLAKY:
                 continue
+            if spec.kind is FaultKind.HOST_LOSS:
+                # Cluster-level fault: a single-host session has no host
+                # to lose — the ClusterService interprets these instead
+                # (and strips them from replica schedules).
+                continue
             if position in self._applied or boundary < spec.at_super_iteration:
                 continue
             self._applied.add(position)

@@ -27,10 +27,20 @@ Four fault kinds cover the failure surface of a multi-GPU serving host:
     Boundary-synchronisation traffic slows down by ``factor`` from
     super-iteration ``k`` on (link contention, a failed NVLink lane).
 
+A fifth kind covers the multi-node tier:
+
+``host-loss``
+    One whole simulated host disappears at *cluster wave* ``k``.  This
+    is a cluster-level fault: the single-host
+    :class:`~repro.faults.injector.FaultInjector` skips it, and the
+    :class:`~repro.cluster.ClusterService` interprets it instead —
+    shipping the lost host's in-flight checkpoints to surviving
+    replicas over the network.
+
 The compact text form parsed by :meth:`FaultSchedule.parse` is what the
 CLI's ``serve --faults`` flag accepts::
 
-    device-loss@3:device=1;transfer-flaky:p=0.05;memory-pressure@2:factor=0.5
+    device-loss@3:device=1;transfer-flaky:p=0.05;host-loss@4:host=1
 """
 
 from __future__ import annotations
@@ -52,6 +62,9 @@ class FaultKind(Enum):
     MEMORY_PRESSURE = "memory-pressure"
     #: Multiplicative slowdown of the inter-GPU boundary exchange.
     INTERCONNECT_DEGRADE = "interconnect-degrade"
+    #: Permanent loss of one whole simulated host at a cluster wave
+    #: boundary (interpreted by the cluster tier, not the injector).
+    HOST_LOSS = "host-loss"
 
     @classmethod
     def parse(cls, value: "FaultKind | str") -> "FaultKind":
@@ -78,9 +91,12 @@ class FaultSpec:
     at_super_iteration:
         The super-iteration boundary the fault takes effect at
         (``transfer-flaky`` stays active from there on; the other kinds
-        fire exactly once).
+        fire exactly once).  For ``host-loss`` the index counts
+        *cluster waves* served, not super-iterations.
     device:
         ``device-loss`` only: which device dies (default: the last one).
+    host:
+        ``host-loss`` only: which host dies (default: the last one).
     probability:
         ``transfer-flaky`` only: per-transfer failure probability.
     factor:
@@ -93,6 +109,7 @@ class FaultSpec:
     device: int | None = None
     probability: float | None = None
     factor: float | None = None
+    host: int | None = None
 
     def __post_init__(self):
         object.__setattr__(self, "kind", FaultKind.parse(self.kind))
@@ -103,6 +120,11 @@ class FaultSpec:
                 raise ValueError("device must be non-negative")
         elif self.device is not None:
             raise ValueError("device= applies only to device-loss faults")
+        if self.kind is FaultKind.HOST_LOSS:
+            if self.host is not None and self.host < 0:
+                raise ValueError("host must be non-negative")
+        elif self.host is not None:
+            raise ValueError("host= applies only to host-loss faults")
         if self.kind is FaultKind.TRANSFER_FLAKY:
             if self.probability is None or not 0.0 < self.probability <= 1.0:
                 raise ValueError("transfer-flaky needs a probability p in (0, 1]")
@@ -126,6 +148,7 @@ _PARSE_KEYS = {
     FaultKind.TRANSFER_FLAKY: {"p": float, "probability": float},
     FaultKind.MEMORY_PRESSURE: {"factor": float},
     FaultKind.INTERCONNECT_DEGRADE: {"factor": float},
+    FaultKind.HOST_LOSS: {"host": int},
 }
 
 
@@ -146,6 +169,26 @@ class FaultSchedule:
         for spec in self.specs:
             if not isinstance(spec, FaultSpec):
                 raise TypeError("FaultSchedule.specs must hold FaultSpec objects")
+
+    def host_loss_specs(self) -> tuple[FaultSpec, ...]:
+        """The cluster-level ``host-loss`` specs of this schedule."""
+        return tuple(
+            spec for spec in self.specs if spec.kind is FaultKind.HOST_LOSS
+        )
+
+    def without_host_loss(self) -> "FaultSchedule | None":
+        """The host-local remainder of the schedule (``None`` when empty).
+
+        The cluster tier hands this to each replica's injector: every
+        per-host fault kind keeps its semantics unchanged, while the
+        ``host-loss`` specs are interpreted at the cluster layer.
+        """
+        specs = tuple(
+            spec for spec in self.specs if spec.kind is not FaultKind.HOST_LOSS
+        )
+        if not specs:
+            return None
+        return FaultSchedule(specs=specs, seed=self.seed)
 
     @classmethod
     def parse(cls, text: str, seed: int = 0) -> "FaultSchedule":

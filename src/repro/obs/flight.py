@@ -33,6 +33,7 @@ _COPY_NAMES = {
     "resume-restore": "resume restore",
     "checkpoint": "checkpoints",
     "recovery-restore": "fault recovery restore",
+    "checkpoint-ship": "checkpoint shipping",
 }
 _TERMINAL_NAMES = ("done", "failed", "cancelled", "rejected")
 

@@ -44,6 +44,7 @@ CATEGORIES = (
     "cache",       # device-cache admit/hit/evict/invalidate events
     "fault",       # injected faults and transfer retries
     "checkpoint",  # checkpoint/restore/preempt-capture copies
+    "network",     # cross-host transfers on a host's net lane
 )
 
 

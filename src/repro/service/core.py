@@ -46,7 +46,7 @@ from repro.service.request import (
     QueryRequest,
     RequestStatus,
 )
-from repro.service.stats import ServiceStats
+from repro.service.stats import ServiceStats, register_service_metrics
 from repro.systems import make_system
 
 __all__ = ["GraphService"]
@@ -223,7 +223,13 @@ class GraphService:
         )
         return self._submit_resolved(request, program)
 
-    def _submit_resolved(self, request: QueryRequest, program: VertexProgram) -> QueryHandle:
+    def _check_program(self, program: VertexProgram) -> None:
+        """Reject programs this service's graph cannot serve.
+
+        Shared with the cluster tier, which must validate *before*
+        routing (an invalid request must raise identically no matter
+        which replica it would have landed on).
+        """
         program.check_graph(self.graph)
         if program.needs_symmetric and not self._symmetric_graph():
             # The evaluation grid symmetrizes the graph for CC (weakly
@@ -234,6 +240,9 @@ class GraphService:
                 "%s assumes a symmetric graph, but this service's graph is "
                 "directed; build the service with graph.symmetrize()" % program.name
             )
+
+    def _submit_resolved(self, request: QueryRequest, program: VertexProgram) -> QueryHandle:
+        self._check_program(program)
         source = self._resolve_source(program, request.source)
         estimate = self.admission.estimate_request_bytes(program, source)
         handle = QueryHandle(
@@ -331,12 +340,14 @@ class GraphService:
             self._shed_bulk()
         if not self._queue:
             return None
-        arrived = [handle for handle in self._queue if handle.arrival_s <= self._clock_s]
+        arrived = [handle for handle in self._queue if handle.ready_s <= self._clock_s]
         if not arrived:
-            # Idle period: jump the clock to the next arrival.
-            self._clock_s = min(handle.arrival_s for handle in self._queue)
+            # Idle period: jump the clock to the next arrival (or, for a
+            # handle whose checkpoint is still in flight over the
+            # network, to the moment the shipment lands).
+            self._clock_s = min(handle.ready_s for handle in self._queue)
             arrived = [
-                handle for handle in self._queue if handle.arrival_s <= self._clock_s
+                handle for handle in self._queue if handle.ready_s <= self._clock_s
             ]
         prioritized = self.config.scheduling == "priority"
         if prioritized:
@@ -486,25 +497,7 @@ class GraphService:
         bounds), so CI can diff it across runs.
         """
         registry = MetricsRegistry()
-        stats = self.stats()
-        for name in (
-            "submitted", "admitted", "rejected", "completed", "failed",
-            "cancelled", "queued", "waves", "preemptions", "deadline_met",
-            "deadline_missed", "faults_injected", "retries", "breaker_trips",
-            "total_transfer_bytes",
-        ):
-            registry.count("service.%s" % name, getattr(stats, name))
-        registry.gauge("service.makespan_s", stats.makespan_s)
-        registry.gauge("service.queries_per_second", stats.queries_per_second)
-        registry.gauge("service.deadline_attainment", stats.deadline_attainment)
-        registry.gauge("service.breaker_open", stats.breaker_open)
-        registry.gauge("service.retry_time_s", stats.retry_time_s)
-        registry.gauge("service.checkpoint_time_s", stats.checkpoint_time_s)
-        registry.gauge("service.recovery_time_s", stats.recovery_time_s)
-        for priority, latencies in sorted(stats.latencies_by_class.items()):
-            name = "service.latency_s.%s" % priority.name.lower()
-            for value in latencies:
-                registry.observe(name, value)
+        register_service_metrics(registry, self.stats())
         cache = self.system.context.cache
         if cache is not None:
             registry.merge_counters("cache", cache.counters())

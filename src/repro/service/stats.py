@@ -7,7 +7,37 @@ from dataclasses import dataclass, field
 from repro.metrics.percentiles import percentile
 from repro.service.request import Priority
 
-__all__ = ["ServiceStats"]
+__all__ = ["ServiceStats", "register_service_metrics"]
+
+#: The counter-valued fields of one stats snapshot, in emission order.
+COUNTER_FIELDS = (
+    "submitted", "admitted", "rejected", "completed", "failed",
+    "cancelled", "queued", "waves", "preemptions", "deadline_met",
+    "deadline_missed", "faults_injected", "retries", "breaker_trips",
+    "total_transfer_bytes",
+)
+
+
+def register_service_metrics(registry, stats: "ServiceStats") -> None:
+    """Emit one stats snapshot as ``service.*`` rows of ``registry``.
+
+    Shared by :meth:`~repro.service.GraphService.metrics` and the
+    cluster tier's aggregate registry, so the single-host and cluster
+    ``--stats-json`` payloads carry the same ``service.*`` vocabulary.
+    """
+    for name in COUNTER_FIELDS:
+        registry.count("service.%s" % name, getattr(stats, name))
+    registry.gauge("service.makespan_s", stats.makespan_s)
+    registry.gauge("service.queries_per_second", stats.queries_per_second)
+    registry.gauge("service.deadline_attainment", stats.deadline_attainment)
+    registry.gauge("service.breaker_open", stats.breaker_open)
+    registry.gauge("service.retry_time_s", stats.retry_time_s)
+    registry.gauge("service.checkpoint_time_s", stats.checkpoint_time_s)
+    registry.gauge("service.recovery_time_s", stats.recovery_time_s)
+    for priority, latencies in sorted(stats.latencies_by_class.items()):
+        name = "service.latency_s.%s" % priority.name.lower()
+        for value in latencies:
+            registry.observe(name, value)
 
 
 @dataclass

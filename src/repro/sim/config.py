@@ -23,8 +23,11 @@ from dataclasses import dataclass, replace
 
 __all__ = [
     "HardwareConfig",
+    "HostConfig",
+    "NetworkConfig",
     "GPU_PRESETS",
     "INTERCONNECT_PRESETS",
+    "NETWORK_PRESETS",
     "gtx_2080ti",
     "gtx_1080",
     "tesla_p100",
@@ -47,6 +50,109 @@ INTERCONNECT_PRESETS: dict[str, tuple[float, float]] = {
     "nvlink": (25e9, 10e-6),
     "pcie-peer": (11e9, 25e-6),
 }
+
+# Host-to-host network presets: (bandwidth bytes/s per flow, latency
+# seconds per message).  "rdma" models a 100 Gb/s RoCE/InfiniBand fabric
+# with kernel-bypass latencies; "tcp" a 25 GbE link through the kernel
+# TCP stack (bandwidth-capable but latency-heavy); "ethernet-10g" a
+# plain 10 GbE datacenter link.  The network tier is an order of
+# magnitude below PCIe on every preset, which is exactly why cross-host
+# movement (checkpoint shipping) must be billed rather than assumed free.
+NETWORK_PRESETS: dict[str, tuple[float, float]] = {
+    "rdma": (12.5e9, 2e-6),
+    "tcp": (2.5e9, 50e-6),
+    "ethernet-10g": (1.25e9, 30e-6),
+}
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """The host-interconnect of a simulated multi-node cluster.
+
+    Attributes
+    ----------
+    kind:
+        Preset name used in reports (one of :data:`NETWORK_PRESETS`
+        for presets; free-form for custom links).
+    bandwidth:
+        Bytes/second one cross-host flow sustains.
+    latency:
+        Fixed seconds per message (connection setup, NIC traversal,
+        switch hops) billed once per transfer.
+    """
+
+    kind: str = "tcp"
+    bandwidth: float = 2.5e9
+    latency: float = 50e-6
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("network bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError("network latency must be non-negative")
+
+    @classmethod
+    def from_preset(cls, kind: str) -> "NetworkConfig":
+        """The preset named ``kind`` (``"tcp"``/``"rdma"``/``"ethernet-10g"``)."""
+        key = kind.strip().lower()
+        if key not in NETWORK_PRESETS:
+            raise KeyError(
+                "unknown network preset %r; available: %s"
+                % (kind, ", ".join(sorted(NETWORK_PRESETS)))
+            )
+        bandwidth, latency = NETWORK_PRESETS[key]
+        return cls(kind=key, bandwidth=bandwidth, latency=latency)
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Simulated seconds one ``nbytes`` cross-host transfer takes."""
+        if nbytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        return self.latency + nbytes / self.bandwidth
+
+    def scaled(self, scale: float) -> "NetworkConfig":
+        """A copy scaled for graphs ``scale`` times the paper's size.
+
+        Like :meth:`HardwareConfig.scaled`, the fixed per-event overhead
+        (message latency) is multiplied by ``scale`` so its magnitude
+        relative to per-checkpoint transfer times stays what it would be
+        at full scale; bandwidth is a physical constant and stays.
+        """
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        return replace(self, latency=self.latency * scale)
+
+
+@dataclass(frozen=True)
+class HostConfig:
+    """Topology of a simulated cluster: N hosts of M GPUs over a network.
+
+    Each host is one complete instance of the paper's platform
+    (:class:`HardwareConfig` with ``gpus_per_host`` devices); the
+    network prices every byte that crosses host boundaries.
+    """
+
+    hosts: int = 1
+    gpus_per_host: int = 1
+    network: "NetworkConfig | str" = "tcp"
+
+    def __post_init__(self) -> None:
+        if self.hosts < 1:
+            raise ValueError("hosts must be at least 1")
+        if self.gpus_per_host < 1:
+            raise ValueError("gpus_per_host must be at least 1")
+        if isinstance(self.network, str):
+            object.__setattr__(self, "network", NetworkConfig.from_preset(self.network))
+        elif not isinstance(self.network, NetworkConfig):
+            raise ValueError("network must be a NetworkConfig or a preset name")
+
+    @property
+    def total_gpus(self) -> int:
+        """GPUs across the whole cluster."""
+        return self.hosts * self.gpus_per_host
+
+    def scaled(self, scale: float) -> "HostConfig":
+        """A copy with the network's fixed overheads scaled (see above)."""
+        return replace(self, network=self.network.scaled(scale))
 
 
 @dataclass(frozen=True)

@@ -214,6 +214,37 @@ class TestFaultSpec:
         with pytest.raises(ValueError, match="non-negative"):
             FaultSpec(FaultKind.DEVICE_LOSS, at_super_iteration=-1)
 
+    def test_parse_host_loss(self):
+        schedule = FaultSchedule.parse("host-loss@4:host=1")
+        spec = schedule.specs[0]
+        assert spec.kind is FaultKind.HOST_LOSS
+        assert spec.at_super_iteration == 4
+        assert spec.host == 1
+        # The host is optional (the cluster defaults to the last alive).
+        assert FaultSchedule.parse("host-loss@2").specs[0].host is None
+
+    def test_host_key_only_for_host_loss(self):
+        with pytest.raises(ValueError, match="only to host-loss"):
+            FaultSpec(FaultKind.DEVICE_LOSS, host=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultSpec(FaultKind.HOST_LOSS, host=-1)
+        with pytest.raises(ValueError, match="expected host"):
+            FaultSchedule.parse("host-loss@1:device=0")
+
+    def test_schedule_splits_cluster_and_host_faults(self):
+        schedule = FaultSchedule.parse(
+            "host-loss@1:host=0;device-loss@2:device=0;transfer-flaky:p=0.1", seed=3
+        )
+        cluster_side = schedule.host_loss_specs()
+        assert [spec.kind for spec in cluster_side] == [FaultKind.HOST_LOSS]
+        remainder = schedule.without_host_loss()
+        assert [spec.kind for spec in remainder.specs] == [
+            FaultKind.DEVICE_LOSS, FaultKind.TRANSFER_FLAKY,
+        ]
+        assert remainder.seed == 3
+        pure_cluster = FaultSchedule.parse("host-loss@1:host=0")
+        assert pure_cluster.without_host_loss() is None
+
     def test_retry_policy(self):
         policy = RetryPolicy(max_attempts=3, backoff_base_s=1e-3, backoff_multiplier=2.0)
         assert policy.backoff_seconds(0) == 0.0
@@ -513,3 +544,69 @@ def test_checkpoint_restore_is_bitwise(graph, config):
     # The checkpoint survives its restore and can be reused.
     assert isinstance(checkpoint, QueryCheckpoint)
     assert checkpoint.checkpoint_bytes > 0
+
+
+# ----------------------------------------------------------------------
+# Host loss (the cluster-level cell of the chaos grid)
+# ----------------------------------------------------------------------
+
+
+def test_single_host_injector_skips_host_loss(graph, config):
+    # A lone GraphService cannot lose "a host"; the injector records the
+    # spec as skipped instead of misfiring it, and serving is unchanged.
+    faulted = run_batch(
+        HyTGraphSystem, graph, config, "sssp", 2, faults="host-loss@1:host=0"
+    )
+    clean = run_batch(HyTGraphSystem, graph, config, "sssp", 2)
+    assert faulted.faults_injected == 0
+    for reference, result in zip(clean.results, faulted.results):
+        assert np.array_equal(np.asarray(reference.values), np.asarray(result.values))
+
+
+@pytest.mark.parametrize("algorithm", GRID_ALGORITHMS)
+def test_cluster_host_loss_grid_recovers_bitwise(algorithm, graph, config):
+    # The host-loss cell runs at the cluster layer: a two-host cluster
+    # loses host 1 mid-backlog and the migrated queries must complete
+    # bitwise equal to a fault-free single host, under every chaos seed.
+    from repro.cluster import ClusterConfig, ClusterService
+
+    source = 0 if make_algorithm(algorithm).needs_source else None
+    served = graph if algorithm != "cc" else graph.symmetrize()
+    hardware = HardwareConfig(
+        gpu_memory_bytes=served.edge_data_bytes // 2, pcie_bandwidth=1e9
+    )
+    requests = [
+        QueryRequest(algorithm=algorithm, source=source, label="s%d" % index)
+        for index in range(6)
+    ]
+    reference = GraphService(
+        ServiceConfig(system="hytgraph"), graph=served, hardware=hardware
+    )
+    expected = [reference.run(request) for request in requests]
+
+    probe = GraphService(
+        ServiceConfig(system="hytgraph"), graph=served, hardware=hardware
+    )
+    estimate = probe.admission.estimate_request_bytes(*probe.submit(requests[0])._query)
+    cluster = ClusterService(
+        ClusterConfig(
+            hosts=2,
+            service=ServiceConfig(
+                system="hytgraph",
+                admission_budget_bytes=int(estimate * 1.5),
+                faults="host-loss@1:host=1",
+                chaos_seed=CHAOS_SEED,
+            ),
+        ),
+        graph=served,
+        hardware=hardware,
+    )
+    handles = cluster.submit_many(requests)
+    cluster.drain()
+    assert cluster.alive_hosts() == [0]
+    assert cluster.router.failovers > 0
+    for handle, reference_result in zip(handles, expected):
+        assert handle.status is RequestStatus.DONE
+        assert np.array_equal(
+            np.asarray(handle.result().values), np.asarray(reference_result.values)
+        )

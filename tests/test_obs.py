@@ -556,3 +556,63 @@ class TestCLI:
         payload = json.loads(trace_path.read_text())
         assert validate_chrome_trace(payload) == []
         assert query_tracks(payload) == ["q0"]
+
+
+class TestClusterTracing:
+    """The tiling invariant holds across host loss and migration."""
+
+    def _lossy_cluster(self, obs_graph, obs_hardware):
+        from repro.cluster import ClusterConfig, ClusterService
+
+        probe = _mixed_service(obs_graph, obs_hardware)
+        estimate = probe.admission.estimate_request_bytes(
+            *probe.submit(QueryRequest(algorithm="sssp", source=0))._query
+        )
+        config = ClusterConfig(
+            hosts=2,
+            service=ServiceConfig(
+                system="hytgraph", tracing=True,
+                admission_budget_bytes=int(estimate * 1.5),
+                faults="host-loss@1:host=1",
+            ),
+        )
+        return ClusterService(config, graph=obs_graph, hardware=obs_hardware)
+
+    def test_migrated_query_tiles_sum_to_latency(self, obs_graph, obs_hardware):
+        cluster = self._lossy_cluster(obs_graph, obs_hardware)
+        handles = cluster.submit_many(
+            QueryRequest(algorithm="sssp", source=0, label="s%d" % index)
+            for index in range(8)
+        )
+        cluster.drain()
+        assert all(handle.done for handle in handles)
+        assert cluster.router.failovers > 0
+
+        payload = chrome_trace(cluster.trace_spans())
+        assert validate_chrome_trace(payload) == []
+        shipped = 0
+        for handle in handles:
+            summary = query_summary(payload, handle.request.label)
+            assert summary["status"] == "done"
+            assert summary["components_total_s"] == pytest.approx(
+                handle.latency_s, abs=1e-9
+            )
+            if summary["copies"]["checkpoint shipping"] > 0:
+                shipped += 1
+        assert shipped == cluster.router.failovers
+
+    def test_flight_report_names_the_shipment(self, obs_graph, obs_hardware):
+        cluster = self._lossy_cluster(obs_graph, obs_hardware)
+        handles = cluster.submit_many(
+            QueryRequest(algorithm="sssp", source=0, label="s%d" % index)
+            for index in range(8)
+        )
+        cluster.drain()
+        payload = chrome_trace(cluster.trace_spans())
+        migrated = next(
+            handle.request.label
+            for handle in handles
+            if query_summary(payload, handle.request.label)["copies"]["checkpoint shipping"] > 0
+        )
+        report = flight_report(payload, migrated)
+        assert "checkpoint shipping" in report

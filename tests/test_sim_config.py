@@ -100,3 +100,80 @@ class TestPresets:
     def test_newer_gpus_have_faster_pcie(self):
         assert a100().pcie_bandwidth > gtx_2080ti().pcie_bandwidth
         assert h100().pcie_bandwidth > a100().pcie_bandwidth
+
+
+class TestNetworkConfig:
+    def test_presets_cover_the_fabric_tiers(self):
+        from repro.sim.config import NETWORK_PRESETS, NetworkConfig
+
+        assert set(NETWORK_PRESETS) == {"rdma", "tcp", "ethernet-10g"}
+        rdma = NetworkConfig.from_preset("rdma")
+        tcp = NetworkConfig.from_preset("tcp")
+        ten_g = NetworkConfig.from_preset("ethernet-10g")
+        # Bandwidth ordering: rdma > tcp > 10GbE; rdma also wins latency.
+        assert rdma.bandwidth > tcp.bandwidth > ten_g.bandwidth
+        assert rdma.latency < min(tcp.latency, ten_g.latency)
+
+    def test_preset_lookup_is_case_insensitive_and_typed(self):
+        from repro.sim.config import NetworkConfig
+
+        assert NetworkConfig.from_preset(" RDMA ").kind == "rdma"
+        with pytest.raises(KeyError, match="unknown network preset"):
+            NetworkConfig.from_preset("smoke-signals")
+
+    def test_transfer_seconds_bills_latency_plus_bytes(self):
+        from repro.sim.config import NetworkConfig
+
+        link = NetworkConfig(kind="lab", bandwidth=1e9, latency=1e-3)
+        assert link.transfer_seconds(0) == 1e-3
+        assert link.transfer_seconds(10**9) == pytest.approx(1.001)
+        with pytest.raises(ValueError, match="non-negative"):
+            link.transfer_seconds(-1)
+
+    def test_scaled_shrinks_latency_only(self):
+        from repro.sim.config import NetworkConfig
+
+        link = NetworkConfig.from_preset("tcp").scaled(0.05)
+        assert link.latency == pytest.approx(50e-6 * 0.05)
+        assert link.bandwidth == NetworkConfig.from_preset("tcp").bandwidth
+        with pytest.raises(ValueError, match="positive"):
+            link.scaled(0.0)
+
+    def test_validation(self):
+        from repro.sim.config import NetworkConfig
+
+        with pytest.raises(ValueError, match="bandwidth"):
+            NetworkConfig(bandwidth=0.0)
+        with pytest.raises(ValueError, match="latency"):
+            NetworkConfig(latency=-1e-6)
+
+
+class TestHostConfig:
+    def test_defaults_and_total_gpus(self):
+        from repro.sim.config import HostConfig
+
+        topology = HostConfig(hosts=4, gpus_per_host=2)
+        assert topology.total_gpus == 8
+        assert topology.network.kind == "tcp"
+
+    def test_network_coercion(self):
+        from repro.sim.config import HostConfig, NetworkConfig
+
+        assert HostConfig(network="rdma").network == NetworkConfig.from_preset("rdma")
+        custom = NetworkConfig(kind="lab", bandwidth=1e9, latency=1e-4)
+        assert HostConfig(network=custom).network is custom
+
+    def test_validation(self):
+        from repro.sim.config import HostConfig
+
+        with pytest.raises(ValueError, match="hosts"):
+            HostConfig(hosts=0)
+        with pytest.raises(ValueError, match="gpus_per_host"):
+            HostConfig(gpus_per_host=0)
+
+    def test_scaled_scales_the_network(self):
+        from repro.sim.config import HostConfig
+
+        topology = HostConfig(hosts=2, network="tcp").scaled(0.1)
+        assert topology.hosts == 2
+        assert topology.network.latency == pytest.approx(50e-6 * 0.1)
